@@ -1,0 +1,186 @@
+// Benchmarks: one per table and figure of the paper's evaluation. Each
+// benchmark iteration regenerates the corresponding experiment on a
+// reduced configuration (4 nodes, small workloads) so `go test -bench=.`
+// completes quickly; `cmd/shrimpbench` runs the full 16-node versions.
+package repro_test
+
+import (
+	"testing"
+
+	"shrimp/internal/harness"
+	"shrimp/internal/svm"
+)
+
+// benchConfig is the reduced configuration used by the benchmarks.
+func benchConfig() harness.Config {
+	return harness.Config{Nodes: 4, Workloads: harness.QuickWorkloads()}
+}
+
+// BenchmarkLatency regenerates the §4.1/§4.2 microbenchmarks (6 us DU,
+// 3.71 us AU, <2 us send overhead, ~10 us Myrinet-like).
+func BenchmarkLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		got := harness.Latency()
+		if got.DUSmall <= 0 {
+			b.Fatal("bad latency")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the sequential execution times.
+func BenchmarkTable1(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if rows := harness.Table1(cfg); len(rows) != int(harness.NumApps) {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the speedup curves.
+func BenchmarkFigure3(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if curves := harness.Figure3(cfg); len(curves) != 6 {
+			b.Fatal("missing curves")
+		}
+	}
+}
+
+// BenchmarkFigure4SVM regenerates the HLRC / HLRC-AU / AURC comparison.
+func BenchmarkFigure4SVM(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows := harness.Figure4SVM(cfg)
+		gains := harness.AURCGain(rows)
+		if gains[harness.RadixSVM] <= 0 {
+			b.Fatal("AURC regression")
+		}
+	}
+}
+
+// BenchmarkFigure4AUDU regenerates the AU-vs-DU application comparison.
+func BenchmarkFigure4AUDU(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows := harness.Figure4AUDU(cfg)
+		if rows[0].AUSpeedup <= 1 {
+			b.Fatal("Radix-VMMC AU regression")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the system-call-per-send what-if.
+func BenchmarkTable2(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if rows := harness.Table2(cfg); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the notification-usage characterization.
+func BenchmarkTable3(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if rows := harness.Table3(cfg); len(rows) != int(harness.NumApps) {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the interrupt-per-message what-if.
+func BenchmarkTable4(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if rows := harness.Table4(cfg); len(rows) != int(harness.NumApps) {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// BenchmarkCombining regenerates the §4.5.1 AU-combining study.
+func BenchmarkCombining(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if rows := harness.Combining(cfg); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFIFO regenerates the §4.5.2 outgoing-FIFO-capacity study.
+func BenchmarkFIFO(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if rows := harness.FIFO(cfg); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkDUQueue regenerates the §4.5.3 DU-queueing study.
+func BenchmarkDUQueue(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if rows := harness.DUQueue(cfg); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: events per
+// wall-clock second on one representative workload (an ablation aid for
+// the DES engine itself).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w := harness.QuickWorkloads()
+	for i := 0; i < b.N; i++ {
+		res := harness.Run(harness.Spec{App: harness.RadixSVM, Nodes: 4,
+			Variant: harness.VariantAU}, &w)
+		if res.Elapsed <= 0 {
+			b.Fatal("bad run")
+		}
+	}
+}
+
+// BenchmarkProtocolAblation compares the three SVM protocols on the
+// false-sharing-heavy Radix kernel — the design-choice ablation behind
+// Figure 4 (left).
+func BenchmarkProtocolAblation(b *testing.B) {
+	w := harness.QuickWorkloads()
+	for _, proto := range []svm.Protocol{svm.HLRC, svm.HLRCAU, svm.AURC} {
+		proto := proto
+		b.Run(proto.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := harness.Run(harness.Spec{App: harness.RadixSVM, Nodes: 4,
+					Protocol: &proto}, &w)
+				if res.Elapsed <= 0 {
+					b.Fatal("bad run")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMachineScaling runs one application across machine sizes —
+// the Figure 3 ablation in benchmark form.
+func BenchmarkMachineScaling(b *testing.B) {
+	w := harness.QuickWorkloads()
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		b.Run(machineName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := harness.Run(harness.Spec{App: harness.OceanNX, Nodes: n,
+					Variant: harness.VariantDU}, &w)
+				if res.Elapsed <= 0 {
+					b.Fatal("bad run")
+				}
+			}
+		})
+	}
+}
+
+func machineName(n int) string {
+	return map[int]string{1: "1node", 2: "2nodes", 4: "4nodes", 8: "8nodes"}[n]
+}

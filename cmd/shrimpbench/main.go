@@ -1,0 +1,97 @@
+// Command shrimpbench regenerates every table and figure of "Design
+// Choices in the SHRIMP System: An Empirical Study" (ISCA 1998) on the
+// simulated SHRIMP machine.
+//
+// Usage:
+//
+//	shrimpbench [-exp all|table1|figure3|figure4svm|figure4audu|table2|
+//	             table3|table4|combining|fifo|duqueue|perpacket|latency]
+//	            [-nodes N] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shrimp/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (comma separated)")
+	nodes := flag.Int("nodes", 16, "machine size (the paper's system is 16 nodes)")
+	quick := flag.Bool("quick", false, "use tiny problem sizes (fast smoke run)")
+	flag.Parse()
+
+	cfg := harness.DefaultExperimentConfig()
+	cfg.Nodes = *nodes
+	if *quick {
+		cfg.Workloads = harness.QuickWorkloads()
+	}
+
+	selected := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		selected[strings.TrimSpace(e)] = true
+	}
+	want := func(name string) bool { return selected["all"] || selected[name] }
+	ran := false
+	w := os.Stdout
+
+	fmt.Fprintf(w, "SHRIMP design-choice evaluation — %d nodes, workloads: %s\n",
+		cfg.Nodes, cfg.Workloads.Note)
+
+	if want("latency") {
+		harness.PrintLatency(w, harness.Latency())
+		ran = true
+	}
+	if want("table1") {
+		harness.PrintTable1(w, harness.Table1(cfg), &cfg.Workloads)
+		ran = true
+	}
+	if want("figure3") {
+		harness.PrintFigure3(w, harness.Figure3(cfg))
+		ran = true
+	}
+	if want("figure4svm") {
+		harness.PrintFigure4SVM(w, harness.Figure4SVM(cfg))
+		ran = true
+	}
+	if want("figure4audu") {
+		harness.PrintFigure4AUDU(w, harness.Figure4AUDU(cfg))
+		ran = true
+	}
+	if want("table2") {
+		harness.PrintWhatIf(w, "Table 2: system call per message send", harness.Table2(cfg))
+		ran = true
+	}
+	if want("table3") {
+		harness.PrintTable3(w, harness.Table3(cfg))
+		ran = true
+	}
+	if want("table4") {
+		harness.PrintWhatIf(w, "Table 4: interrupt per arriving message", harness.Table4(cfg))
+		ran = true
+	}
+	if want("combining") {
+		harness.PrintCombining(w, harness.Combining(cfg))
+		ran = true
+	}
+	if want("fifo") {
+		harness.PrintFIFO(w, harness.FIFO(cfg))
+		ran = true
+	}
+	if want("duqueue") {
+		harness.PrintDUQueue(w, harness.DUQueue(cfg))
+		ran = true
+	}
+	if want("perpacket") {
+		harness.PrintPerPacket(w, harness.InterruptPerPacket(cfg))
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "shrimpbench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,127 @@
+// Command shrimpsim runs a single application on the simulated SHRIMP
+// machine under a chosen configuration and reports execution time, the
+// per-category time breakdown, and communication counters.
+//
+// Usage:
+//
+//	shrimpsim -app barnes-svm|ocean-svm|radix-svm|radix-vmmc|
+//	               barnes-nx|ocean-nx|dfs|render
+//	          [-nodes N] [-variant au|du] [-protocol hlrc|hlrc-au|aurc]
+//	          [-syscall] [-intmsg] [-nocombine] [-fifo bytes] [-duqueue N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shrimp/internal/harness"
+	"shrimp/internal/machine"
+	"shrimp/internal/stats"
+	"shrimp/internal/svm"
+)
+
+var appByName = map[string]harness.App{
+	"barnes-svm": harness.BarnesSVM,
+	"ocean-svm":  harness.OceanSVM,
+	"radix-svm":  harness.RadixSVM,
+	"radix-vmmc": harness.RadixVMMC,
+	"barnes-nx":  harness.BarnesNX,
+	"ocean-nx":   harness.OceanNX,
+	"dfs":        harness.DFSSockets,
+	"render":     harness.RenderSockets,
+}
+
+func main() {
+	appName := flag.String("app", "", "application to run")
+	nodes := flag.Int("nodes", 16, "machine size")
+	variant := flag.String("variant", "", "au or du (default: the app's best)")
+	protocol := flag.String("protocol", "", "SVM protocol: hlrc, hlrc-au, aurc")
+	syscall := flag.Bool("syscall", false, "charge a system call per message send (Table 2)")
+	intmsg := flag.Bool("intmsg", false, "interrupt on every arriving message (Table 4)")
+	nocombine := flag.Bool("nocombine", false, "disable automatic-update combining")
+	fifo := flag.Int("fifo", 0, "outgoing FIFO bytes (0 = default 32 KB)")
+	duq := flag.Int("duqueue", 0, "deliberate-update queue depth (0 = default 1)")
+	quick := flag.Bool("quick", false, "use tiny problem sizes")
+	flag.Parse()
+
+	app, ok := appByName[strings.ToLower(*appName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "shrimpsim: unknown app %q (want one of:", *appName)
+		for n := range appByName {
+			fmt.Fprintf(os.Stderr, " %s", n)
+		}
+		fmt.Fprintln(os.Stderr, ")")
+		os.Exit(2)
+	}
+
+	spec := harness.Spec{App: app, Nodes: *nodes, Variant: harness.DefaultVariant(app)}
+	switch strings.ToLower(*variant) {
+	case "au":
+		spec.Variant = harness.VariantAU
+	case "du":
+		spec.Variant = harness.VariantDU
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "shrimpsim: unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+	switch strings.ToLower(*protocol) {
+	case "hlrc":
+		p := svm.HLRC
+		spec.Protocol = &p
+	case "hlrc-au":
+		p := svm.HLRCAU
+		spec.Protocol = &p
+	case "aurc":
+		p := svm.AURC
+		spec.Protocol = &p
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "shrimpsim: unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+	spec.Mutate = func(c *machine.Config) {
+		c.SyscallPerSend = *syscall
+		c.NIC.InterruptPerMessage = *intmsg
+		if *nocombine {
+			c.NIC.Combining = false
+		}
+		if *fifo > 0 {
+			c.NIC.OutFIFOBytes = *fifo
+			c.NIC.FIFOThresholdBytes = *fifo * 3 / 4
+			c.NIC.FIFOLowWaterBytes = *fifo / 4
+		}
+		if *duq > 0 {
+			c.NIC.DUQueueDepth = *duq
+		}
+	}
+
+	wl := harness.DefaultWorkloads()
+	if *quick {
+		wl = harness.QuickWorkloads()
+	}
+	res := harness.Run(spec, &wl)
+
+	fmt.Printf("%s on %d nodes (%s)\n", app, *nodes, wl.SizeString(app))
+	fmt.Printf("execution time: %v\n", res.Elapsed)
+	fmt.Println("time breakdown (all nodes):")
+	total := res.Breakdown.Total()
+	for c := stats.Category(0); c < stats.NumCategories; c++ {
+		fmt.Printf("  %-10s %12v  (%5.1f%%)\n", c, res.Breakdown[c],
+			100*float64(res.Breakdown[c])/float64(total))
+	}
+	c := res.Counters
+	fmt.Println("counters:")
+	fmt.Printf("  messages sent     %12d\n", c.MessagesSent)
+	fmt.Printf("  notifications     %12d\n", c.Notifications)
+	fmt.Printf("  interrupts        %12d\n", c.Interrupts)
+	fmt.Printf("  syscalls          %12d\n", c.Syscalls)
+	fmt.Printf("  AU stores/packets %12d / %d\n", c.AUStores, c.AUPackets)
+	fmt.Printf("  DU transfers      %12d\n", c.DUTransfers)
+	fmt.Printf("  bytes sent        %12d\n", c.BytesSent)
+	fmt.Printf("  page faults       %12d (fetched %d)\n", c.PageFaults, c.PagesFetched)
+	fmt.Printf("  diffs created     %12d\n", c.DiffsCreated)
+	fmt.Printf("  FIFO high water   %12d bytes\n", res.FIFOHigh)
+}

@@ -1,0 +1,349 @@
+// Package barnes implements the Barnes-Hut hierarchical N-body method
+// (SPLASH-2) in the two forms the paper evaluates: Barnes-SVM (shared
+// virtual memory: a shared octree rebuilt each step, with read-shared
+// tree traversal, a lock-merged bounding box, and page faults fetching
+// tree pages on demand) and Barnes-NX (message passing: bodies are
+// all-gathered every step and each rank rebuilds a replicated tree —
+// the communication that limits its speedup beyond eight nodes, §3).
+//
+// The simulation is real: an octree is built over real body positions,
+// forces use the opening-angle criterion, and the parallel results are
+// validated bit-for-bit against a sequential reference.
+package barnes
+
+import (
+	"fmt"
+	"math"
+
+	"shrimp/internal/sim"
+)
+
+// Params configures a run.
+type Params struct {
+	Bodies int
+	Steps  int
+	Theta  float64 // opening criterion
+	Dt     float64
+	Eps    float64 // softening
+	// InteractionCost models one body-body or body-cell interaction on
+	// the 60 MHz node (a few dozen FLOPs including a sqrt).
+	InteractionCost sim.Time
+	// InsertCost models one tree-insertion step.
+	InsertCost sim.Time
+	// MsgBatch is the number of bodies per message in the NX version's
+	// exchange phase. The SHRIMP NX port was fine-grained (Table 3
+	// counts roughly a million messages for 4K bodies / 20 steps),
+	// which is what makes Barnes-NX so sensitive to per-send kernel
+	// costs (Table 2).
+	MsgBatch int
+}
+
+// DefaultParams returns a laptop-scale problem (the paper used 16K
+// bodies for SVM and 4K for NX).
+func DefaultParams() Params {
+	return Params{
+		Bodies:          1024,
+		Steps:           3,
+		Theta:           0.7,
+		Dt:              0.025,
+		Eps:             0.05,
+		InteractionCost: 3 * sim.Microsecond,
+		InsertCost:      5 * sim.Microsecond,
+		MsgBatch:        1,
+	}
+}
+
+// PaperParamsSVM returns the paper's Barnes-SVM size (16K bodies).
+func PaperParamsSVM() Params {
+	p := DefaultParams()
+	p.Bodies = 16 * 1024
+	return p
+}
+
+// PaperParamsNX returns the paper's Barnes-NX size (4K bodies, 20 iters).
+func PaperParamsNX() Params {
+	p := DefaultParams()
+	p.Bodies = 4 * 1024
+	p.Steps = 20
+	return p
+}
+
+// Body is one particle.
+type Body struct {
+	Mass float64
+	Pos  [3]float64
+	Vel  [3]float64
+	Acc  [3]float64
+}
+
+// generate produces a deterministic Plummer-like cluster.
+func generate(pr Params) []Body {
+	bodies := make([]Body, pr.Bodies)
+	x := uint64(88172645463325252)
+	next := func() float64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return float64(x>>11) / float64(1<<53)
+	}
+	for i := range bodies {
+		b := &bodies[i]
+		b.Mass = 1.0 / float64(pr.Bodies)
+		r := 0.1 + 0.9*next()
+		th := 2 * math.Pi * next()
+		ph := math.Acos(2*next() - 1)
+		b.Pos[0] = r * math.Sin(ph) * math.Cos(th)
+		b.Pos[1] = r * math.Sin(ph) * math.Sin(th)
+		b.Pos[2] = r * math.Cos(ph)
+		// Mild tangential velocities.
+		b.Vel[0] = -0.3 * b.Pos[1]
+		b.Vel[1] = 0.3 * b.Pos[0]
+		b.Vel[2] = 0.1 * (next() - 0.5)
+	}
+	return bodies
+}
+
+// ---- Plain octree used by the sequential reference and Barnes-NX ----
+
+// child encoding in cell nodes: 0 = empty, +k = cell index k-1,
+// -k = body index k-1.
+type cell struct {
+	center   [3]float64
+	half     float64
+	mass     float64
+	com      [3]float64
+	children [8]int32
+}
+
+// tree is a flat-pool octree.
+type tree struct {
+	cells  []cell
+	bodies []Body
+}
+
+// octant returns which child octant pos falls into relative to center.
+func octant(center *[3]float64, pos *[3]float64) int {
+	o := 0
+	for d := 0; d < 3; d++ {
+		if pos[d] >= center[d] {
+			o |= 1 << d
+		}
+	}
+	return o
+}
+
+// childCenter computes a child cell's center.
+func childCenter(c *cell, o int) [3]float64 {
+	h := c.half / 2
+	ctr := c.center
+	for d := 0; d < 3; d++ {
+		if o&(1<<d) != 0 {
+			ctr[d] += h
+		} else {
+			ctr[d] -= h
+		}
+	}
+	return ctr
+}
+
+// bounds computes the bounding cube of a body set.
+func bounds(bodies []Body) (center [3]float64, half float64) {
+	var lo, hi [3]float64
+	for d := 0; d < 3; d++ {
+		lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+	}
+	for i := range bodies {
+		for d := 0; d < 3; d++ {
+			lo[d] = math.Min(lo[d], bodies[i].Pos[d])
+			hi[d] = math.Max(hi[d], bodies[i].Pos[d])
+		}
+	}
+	for d := 0; d < 3; d++ {
+		center[d] = (lo[d] + hi[d]) / 2
+		half = math.Max(half, (hi[d]-lo[d])/2)
+	}
+	return center, half*1.0001 + 1e-9
+}
+
+// build constructs the octree over bodies (insertion in index order, so
+// every implementation produces the identical tree).
+func build(bodies []Body) *tree {
+	t := &tree{bodies: bodies}
+	center, half := bounds(bodies)
+	t.cells = append(t.cells[:0], cell{center: center, half: half})
+	for i := range bodies {
+		t.insert(0, int32(i), 0)
+	}
+	t.summarize(0)
+	return t
+}
+
+const maxDepth = 64
+
+// insert places body b into cell ci.
+func (t *tree) insert(ci int32, b int32, depth int) {
+	if depth > maxDepth {
+		panic("barnes: tree depth exceeded (coincident bodies?)")
+	}
+	c := &t.cells[ci]
+	o := octant(&c.center, &t.bodies[b].Pos)
+	switch ch := c.children[o]; {
+	case ch == 0:
+		c.children[o] = -(b + 1)
+	case ch > 0:
+		t.insert(ch-1, b, depth+1)
+	default:
+		// Split: push the resident body down, then insert b.
+		old := -ch - 1
+		nc := cell{center: childCenter(c, o), half: c.half / 2}
+		t.cells = append(t.cells, nc)
+		ni := int32(len(t.cells))
+		c = &t.cells[ci] // re-take: append may have moved the pool
+		c.children[o] = ni
+		t.insert(ni-1, old, depth+1)
+		t.insert(ni-1, b, depth+1)
+	}
+}
+
+// summarize computes mass and center-of-mass bottom-up.
+func (t *tree) summarize(ci int32) (mass float64, com [3]float64) {
+	c := &t.cells[ci]
+	for o := 0; o < 8; o++ {
+		ch := c.children[o]
+		switch {
+		case ch == 0:
+		case ch > 0:
+			m, cm := t.summarize(ch - 1)
+			c = &t.cells[ci]
+			c.mass += m
+			for d := 0; d < 3; d++ {
+				c.com[d] += m * cm[d]
+			}
+		default:
+			b := &t.bodies[-ch-1]
+			c.mass += b.Mass
+			for d := 0; d < 3; d++ {
+				c.com[d] += b.Mass * b.Pos[d]
+			}
+		}
+	}
+	if c.mass > 0 {
+		for d := 0; d < 3; d++ {
+			c.com[d] /= c.mass
+		}
+	}
+	return c.mass, c.com
+}
+
+// accumulate adds the gravitational pull of (mass, pos) on body b.
+func accumulate(b *Body, mass float64, pos *[3]float64, eps float64, acc *[3]float64) {
+	var dr [3]float64
+	dist2 := eps * eps
+	for d := 0; d < 3; d++ {
+		dr[d] = pos[d] - b.Pos[d]
+		dist2 += dr[d] * dr[d]
+	}
+	inv := 1 / math.Sqrt(dist2)
+	f := mass * inv * inv * inv
+	for d := 0; d < 3; d++ {
+		acc[d] += f * dr[d]
+	}
+}
+
+// force computes the acceleration on body bi, charging cost per
+// interaction through charge.
+func (t *tree) force(bi int32, theta, eps float64, charge func()) [3]float64 {
+	var acc [3]float64
+	b := &t.bodies[bi]
+	var walk func(ci int32)
+	walk = func(ci int32) {
+		c := &t.cells[ci]
+		var dr [3]float64
+		dist2 := 1e-18
+		for d := 0; d < 3; d++ {
+			dr[d] = c.com[d] - b.Pos[d]
+			dist2 += dr[d] * dr[d]
+		}
+		if (2*c.half)*(2*c.half) < theta*theta*dist2 {
+			// Far enough: treat the cell as a point mass.
+			accumulate(b, c.mass, &c.com, eps, &acc)
+			charge()
+			return
+		}
+		for o := 0; o < 8; o++ {
+			switch ch := c.children[o]; {
+			case ch == 0:
+			case ch > 0:
+				walk(ch - 1)
+			default:
+				ob := -ch - 1
+				if ob != bi {
+					accumulate(b, t.bodies[ob].Mass, &t.bodies[ob].Pos, eps, &acc)
+					charge()
+				}
+			}
+		}
+	}
+	walk(0)
+	return acc
+}
+
+// advance applies one leapfrog step to a body.
+func advance(b *Body, acc [3]float64, dt float64) {
+	for d := 0; d < 3; d++ {
+		b.Vel[d] += acc[d] * dt
+		b.Pos[d] += b.Vel[d] * dt
+	}
+	b.Acc = acc
+}
+
+// Sequential runs the reference simulation natively.
+func Sequential(pr Params) []Body {
+	bodies := generate(pr)
+	for s := 0; s < pr.Steps; s++ {
+		t := build(bodies)
+		accs := make([][3]float64, len(bodies))
+		for i := range bodies {
+			accs[i] = t.force(int32(i), pr.Theta, pr.Eps, func() {})
+		}
+		for i := range bodies {
+			advance(&bodies[i], accs[i], pr.Dt)
+		}
+	}
+	return bodies
+}
+
+// checksum folds body state into a comparable value.
+func checksum(bodies []Body) uint64 {
+	var h uint64 = 14695981039346656037
+	mix := func(v float64) {
+		h = (h ^ math.Float64bits(v)) * 1099511628211
+	}
+	for i := range bodies {
+		for d := 0; d < 3; d++ {
+			mix(bodies[i].Pos[d])
+			mix(bodies[i].Vel[d])
+		}
+	}
+	return h
+}
+
+// validate compares computed bodies against the sequential reference.
+func validate(pr Params, got []Body) {
+	want := Sequential(pr)
+	if checksum(got) == checksum(want) {
+		return
+	}
+	for i := range got {
+		for d := 0; d < 3; d++ {
+			if got[i].Pos[d] != want[i].Pos[d] {
+				panic(fmt.Sprintf("barnes: body %d pos[%d] = %g, want %g",
+					i, d, got[i].Pos[d], want[i].Pos[d]))
+			}
+		}
+	}
+	panic("barnes: checksum mismatch")
+}
+
+// split returns rank r's [lo,hi) share of n bodies over p ranks.
+func split(n, p, r int) (lo, hi int) { return n * r / p, n * (r + 1) / p }

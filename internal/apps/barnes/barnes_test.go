@@ -1,0 +1,122 @@
+package barnes
+
+import (
+	"math"
+	"testing"
+
+	"shrimp/internal/machine"
+	"shrimp/internal/nx"
+	"shrimp/internal/ring"
+	"shrimp/internal/svm"
+	"shrimp/internal/vmmc"
+)
+
+func smallParams() Params {
+	p := DefaultParams()
+	p.Bodies = 192
+	p.Steps = 2
+	return p
+}
+
+func TestTreeBuildInvariants(t *testing.T) {
+	pr := smallParams()
+	bodies := generate(pr)
+	tr := build(bodies)
+	// Root mass equals total mass; every body reachable exactly once.
+	total := 0.0
+	for i := range bodies {
+		total += bodies[i].Mass
+	}
+	if math.Abs(tr.cells[0].mass-total)/total > 1e-9 {
+		t.Fatalf("root mass %g, want %g", tr.cells[0].mass, total)
+	}
+	seen := make([]bool, len(bodies))
+	var walk func(ci int32)
+	walk = func(ci int32) {
+		for _, ch := range tr.cells[ci].children {
+			switch {
+			case ch == 0:
+			case ch > 0:
+				walk(ch - 1)
+			default:
+				b := -ch - 1
+				if seen[b] {
+					t.Fatalf("body %d linked twice", b)
+				}
+				seen[b] = true
+			}
+		}
+	}
+	walk(0)
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("body %d missing from tree", i)
+		}
+	}
+}
+
+func TestBoundsContainAllBodies(t *testing.T) {
+	bodies := generate(smallParams())
+	center, half := bounds(bodies)
+	for i := range bodies {
+		for d := 0; d < 3; d++ {
+			if math.Abs(bodies[i].Pos[d]-center[d]) > half {
+				t.Fatalf("body %d outside root cell", i)
+			}
+		}
+	}
+}
+
+func TestSequentialDeterministic(t *testing.T) {
+	pr := smallParams()
+	if checksum(Sequential(pr)) != checksum(Sequential(pr)) {
+		t.Fatal("sequential run not deterministic")
+	}
+}
+
+func TestEnergyBounded(t *testing.T) {
+	// The cluster should not explode over a few steps (velocities stay
+	// finite) — a sanity check on force arithmetic.
+	pr := smallParams()
+	for _, b := range Sequential(pr) {
+		for d := 0; d < 3; d++ {
+			if math.IsNaN(b.Pos[d]) || math.Abs(b.Vel[d]) > 100 {
+				t.Fatalf("body diverged: %+v", b)
+			}
+		}
+	}
+}
+
+func regionBytesFor(pr Params) int {
+	return pr.Bodies*bodyBytes + (4*pr.Bodies+64)*cellBytes + 1<<15
+}
+
+func runSVMTest(t *testing.T, nodes int, proto svm.Protocol) {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(nodes))
+	defer m.Close()
+	pr := smallParams()
+	s := svm.New(vmmc.NewSystem(m), svm.DefaultConfig(proto, regionBytesFor(pr)))
+	if el := RunSVM(s, pr); el <= 0 {
+		t.Fatal("non-positive time")
+	}
+}
+
+func TestBarnesSVMSingleNode(t *testing.T) { runSVMTest(t, 1, svm.HLRC) }
+func TestBarnesSVMHLRC(t *testing.T)       { runSVMTest(t, 4, svm.HLRC) }
+func TestBarnesSVMHLRCAU(t *testing.T)     { runSVMTest(t, 4, svm.HLRCAU) }
+func TestBarnesSVMAURC(t *testing.T)       { runSVMTest(t, 4, svm.AURC) }
+
+func runNXTest(t *testing.T, nodes int, mode ring.Mode) {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(nodes))
+	defer m.Close()
+	c := nx.New(vmmc.NewSystem(m), nx.Config{Mode: mode, RingBytes: 128 * 1024})
+	if el := RunNX(c, smallParams()); el <= 0 {
+		t.Fatal("non-positive time")
+	}
+}
+
+func TestBarnesNXSingleNode(t *testing.T) { runNXTest(t, 1, ring.DU) }
+func TestBarnesNXDU(t *testing.T)         { runNXTest(t, 4, ring.DU) }
+func TestBarnesNXAU(t *testing.T)         { runNXTest(t, 4, ring.AU) }

@@ -1,0 +1,148 @@
+package barnes
+
+import (
+	"encoding/binary"
+	"math"
+
+	"shrimp/internal/machine"
+	"shrimp/internal/nx"
+	"shrimp/internal/sim"
+)
+
+// Message tags.
+const (
+	tagBodies = 20
+	tagGather = 21
+)
+
+const bodyWire = 7 * 8 // mass + pos[3] + vel[3]
+
+// encodeBodies serializes a body range for the all-gather.
+func encodeBodies(bodies []Body, lo, hi int) []byte {
+	buf := make([]byte, (hi-lo)*bodyWire)
+	off := 0
+	put := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	for i := lo; i < hi; i++ {
+		b := &bodies[i]
+		put(b.Mass)
+		for d := 0; d < 3; d++ {
+			put(b.Pos[d])
+		}
+		for d := 0; d < 3; d++ {
+			put(b.Vel[d])
+		}
+	}
+	return buf
+}
+
+// decodeBodies writes a serialized range back into the body array.
+func decodeBodies(bodies []Body, lo int, data []byte) {
+	off := 0
+	get := func() float64 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		return v
+	}
+	for i := lo; off < len(data); i++ {
+		b := &bodies[i]
+		b.Mass = get()
+		for d := 0; d < 3; d++ {
+			b.Pos[d] = get()
+		}
+		for d := 0; d < 3; d++ {
+			b.Vel[d] = get()
+		}
+	}
+}
+
+// RunNX executes Barnes-NX: every step the body set is all-gathered and
+// each rank rebuilds a replicated octree, then computes forces for its
+// own block. The all-gather is the communication phase that limits
+// speedup beyond eight nodes (§3). Results are validated against the
+// sequential reference.
+func RunNX(c *nx.Comm, pr Params) sim.Time {
+	nprocs := c.Size()
+	ref := generate(pr)
+	final := make([]Body, pr.Bodies)
+
+	elapsed := c.System().M.RunParallel("barnes-nx", func(nd *machine.Node, p *sim.Proc) {
+		pc := c.Proc(int(nd.ID))
+		rank := pc.Rank()
+		lo, hi := split(pr.Bodies, nprocs, rank)
+		bodies := make([]Body, pr.Bodies)
+		copy(bodies, ref)
+		cpu := nd.CPUFor(p)
+
+		for s := 0; s < pr.Steps; s++ {
+			// All-gather current body state (everyone needs every
+			// position to build the tree). The exchange is fine-grained:
+			// MsgBatch bodies per message, as in the SHRIMP NX port.
+			if nprocs > 1 {
+				batch := pr.MsgBatch
+				if batch <= 0 {
+					batch = 2
+				}
+				for o := 0; o < nprocs; o++ {
+					if o == rank {
+						continue
+					}
+					for b := lo; b < hi; b += batch {
+						e := b + batch
+						if e > hi {
+							e = hi
+						}
+						pc.Send(p, o, tagBodies, encodeBodies(bodies, b, e))
+					}
+				}
+				batches := 0
+				for r := 0; r < nprocs; r++ {
+					if r == rank {
+						continue
+					}
+					rlo, rhi := split(pr.Bodies, nprocs, r)
+					batches += (rhi - rlo + batch - 1) / batch
+				}
+				recvd := make([]int, nprocs)
+				for r := range recvd {
+					rlo, _ := split(pr.Bodies, nprocs, r)
+					recvd[r] = rlo
+				}
+				for k := 0; k < batches; k++ {
+					m := pc.Recv(p, nx.Any, tagBodies)
+					decodeBodies(bodies, recvd[m.Src], m.Data)
+					recvd[m.Src] += len(m.Data) / bodyWire
+				}
+			}
+			// Replicated tree build: every rank pays for it.
+			t := build(bodies)
+			cpu.Charge(sim.Time(pr.Bodies) * pr.InsertCost)
+			// Forces for the local block only.
+			accs := make([][3]float64, hi-lo)
+			for i := lo; i < hi; i++ {
+				accs[i-lo] = t.force(int32(i), pr.Theta, pr.Eps, func() {
+					cpu.Charge(pr.InteractionCost)
+				})
+			}
+			for i := lo; i < hi; i++ {
+				advance(&bodies[i], accs[i-lo], pr.Dt)
+			}
+		}
+
+		// Gather final state at rank 0.
+		if rank == 0 {
+			copy(final[lo:hi], bodies[lo:hi])
+			for k := 1; k < nprocs; k++ {
+				m := pc.Recv(p, nx.Any, tagGather)
+				slo, _ := split(pr.Bodies, nprocs, m.Src)
+				decodeBodies(final, slo, m.Data)
+			}
+		} else {
+			pc.Send(p, 0, tagGather, encodeBodies(bodies, lo, hi))
+		}
+	})
+	validate(pr, final)
+	return elapsed
+}

@@ -1,0 +1,86 @@
+package dfs
+
+import (
+	"testing"
+
+	"shrimp/internal/machine"
+	"shrimp/internal/ring"
+	"shrimp/internal/socketlib"
+	"shrimp/internal/vmmc"
+)
+
+func smallParams() Params {
+	p := DefaultParams()
+	p.FilesPerClient = 2
+	p.BlocksPerFile = 12
+	p.CacheBlocks = 8
+	return p
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.put([2]int{0, 0}, []byte{1})
+	c.put([2]int{0, 1}, []byte{2})
+	c.put([2]int{0, 2}, []byte{3}) // evicts {0,0}
+	if _, ok := c.get([2]int{0, 0}); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := c.get([2]int{0, 1}); !ok {
+		t.Fatal("entry lost")
+	}
+	// Touch {0,1}, insert another: {0,2} should go.
+	c.put([2]int{0, 3}, []byte{4})
+	if _, ok := c.get([2]int{0, 2}); ok {
+		t.Fatal("LRU order not respected")
+	}
+}
+
+func TestBlockContentDeterministic(t *testing.T) {
+	a := blockContent(3, 7, 512)
+	b := blockContent(3, 7, 512)
+	if blockSum(a) != blockSum(b) {
+		t.Fatal("block content not deterministic")
+	}
+	if blockSum(a) == blockSum(blockContent(3, 8, 512)) {
+		t.Fatal("distinct blocks collide")
+	}
+}
+
+func run(t *testing.T, nodes int, mode ring.Mode) int64 {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(nodes))
+	defer m.Close()
+	sys := vmmc.NewSystem(m)
+	cfg := socketlib.DefaultConfig()
+	cfg.Mode = mode
+	el := Run(sys, cfg, smallParams())
+	if el <= 0 {
+		t.Fatal("non-positive time")
+	}
+	return int64(el)
+}
+
+func TestDFSSingleNode(t *testing.T) { run(t, 1, ring.DU) }
+func TestDFSFourNodes(t *testing.T)  { run(t, 4, ring.DU) }
+func TestDFSEightNodes(t *testing.T) { run(t, 8, ring.DU) }
+func TestDFSAUMode(t *testing.T)     { run(t, 4, ring.AU) }
+
+func TestDFSUncombinedAUMuchSlower(t *testing.T) {
+	// §4.5.1: DFS forced onto automatic update without combining runs
+	// about a factor of two slower (bulk transfers are ideal for
+	// combining).
+	m1 := machine.New(machine.DefaultConfig(4))
+	defer m1.Close()
+	cfg := socketlib.DefaultConfig()
+	cfg.Mode = ring.AU
+	cfg.Combine = true
+	with := int64(Run(vmmc.NewSystem(m1), cfg, smallParams()))
+
+	m2 := machine.New(machine.DefaultConfig(4))
+	defer m2.Close()
+	cfg.Combine = false
+	without := int64(Run(vmmc.NewSystem(m2), cfg, smallParams()))
+	if without <= with {
+		t.Fatalf("uncombined AU (%d) not slower than combined (%d)", without, with)
+	}
+}

@@ -1,0 +1,127 @@
+// Package ocean implements the SPLASH-2 Ocean fluid-dynamics kernel in
+// the two forms the paper evaluates: Ocean-SVM (shared virtual memory;
+// the grid is partitioned in blocks of contiguous rows and
+// nearest-neighbor sharing happens at partition boundaries) and
+// Ocean-NX (message passing with explicit ghost-row exchange).
+//
+// The solver is a red-black Gauss-Seidel relaxation of a Poisson
+// problem on an (n+2)x(n+2) grid. Red-black ordering makes the result
+// independent of the partitioning, so the parallel runs are validated
+// bit-for-bit against a sequential reference.
+package ocean
+
+import (
+	"fmt"
+	"math"
+
+	"shrimp/internal/sim"
+)
+
+// Params configures a run.
+type Params struct {
+	N     int // interior grid dimension (grid is (N+2)^2 with boundary)
+	Iters int // red-black sweeps
+	// CellCost models the per-cell update cost on the 60 MHz node,
+	// calibrated against Table 1.
+	CellCost sim.Time
+	// ChunkCells is the ghost-row exchange granularity of the NX
+	// version, in cells per message. The SHRIMP NX Ocean was
+	// fine-grained (Table 3 counts about a million messages), which is
+	// why it is sensitive to per-send kernel costs (Table 2).
+	ChunkCells int
+}
+
+// DefaultParams returns a laptop-scale problem (the paper used 258 and
+// 514; the communication-to-computation ratio scales with perimeter
+// over area, so a smaller grid exercises the same behaviour harder).
+func DefaultParams() Params {
+	return Params{N: 128, Iters: 30, CellCost: 1200 * sim.Nanosecond, ChunkCells: 16}
+}
+
+// PaperParamsSVM returns the paper's Ocean-SVM size (514x514).
+func PaperParamsSVM() Params {
+	p := DefaultParams()
+	p.N = 512
+	return p
+}
+
+// PaperParamsNX returns the paper's Ocean-NX size (258x258).
+func PaperParamsNX() Params {
+	p := DefaultParams()
+	p.N = 256
+	return p
+}
+
+// stride is the row length including boundary columns.
+func (pr Params) stride() int { return pr.N + 2 }
+
+// initial returns the deterministic initial grid, including boundary
+// conditions (a warm column meeting a cold row, a classic test setup).
+func initial(pr Params) []float64 {
+	s := pr.stride()
+	g := make([]float64, s*s)
+	for i := 0; i < s; i++ {
+		g[i*s] = 1.0                        // left boundary
+		g[i*s+s-1] = -0.5                   // right boundary
+		g[i] = float64(i%7) * 0.25          // top boundary
+		g[(s-1)*s+i] = math.Sin(float64(i)) // bottom boundary
+	}
+	return g
+}
+
+// relaxCell computes the new value of one interior cell.
+func relaxCell(g []float64, s, r, c int) float64 {
+	return 0.25 * (g[(r-1)*s+c] + g[(r+1)*s+c] + g[r*s+c-1] + g[r*s+c+1])
+}
+
+// Sequential runs the reference solver natively and returns the final
+// grid (used for validation and as the Table 1 sequential baseline when
+// run on a 1-node machine via RunSVM/RunNX).
+func Sequential(pr Params) []float64 {
+	s := pr.stride()
+	g := initial(pr)
+	for it := 0; it < pr.Iters; it++ {
+		for color := 0; color < 2; color++ {
+			for r := 1; r <= pr.N; r++ {
+				for c := 1; c <= pr.N; c++ {
+					if (r+c)%2 != color {
+						continue
+					}
+					g[r*s+c] = relaxCell(g, s, r, c)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// checksum folds a grid into a comparable value.
+func checksum(g []float64) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, v := range g {
+		b := math.Float64bits(v)
+		h = (h ^ b) * 1099511628211
+	}
+	return h
+}
+
+// rowsFor returns rank r's block of interior rows [lo,hi).
+func rowsFor(n, p, r int) (lo, hi int) {
+	lo = n*r/p + 1
+	hi = n*(r+1)/p + 1
+	return
+}
+
+// validate compares a computed grid against the sequential reference.
+func validate(pr Params, got []float64) {
+	want := Sequential(pr)
+	if checksum(got) != checksum(want) {
+		for i := range got {
+			if got[i] != want[i] {
+				panic(fmt.Sprintf("ocean: grid differs at cell %d: %g vs %g",
+					i, got[i], want[i]))
+			}
+		}
+		panic("ocean: checksum mismatch")
+	}
+}

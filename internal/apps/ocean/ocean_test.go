@@ -1,0 +1,102 @@
+package ocean
+
+import (
+	"testing"
+
+	"shrimp/internal/machine"
+	"shrimp/internal/nx"
+	"shrimp/internal/ring"
+	"shrimp/internal/svm"
+	"shrimp/internal/vmmc"
+)
+
+func smallParams() Params {
+	return Params{N: 30, Iters: 6, CellCost: DefaultParams().CellCost}
+}
+
+func TestSequentialConverges(t *testing.T) {
+	pr := smallParams()
+	g0 := initial(pr)
+	g := Sequential(pr)
+	// Interior must have moved toward the boundary-driven solution.
+	s := pr.stride()
+	changed := 0
+	for r := 1; r <= pr.N; r++ {
+		for c := 1; c <= pr.N; c++ {
+			if g[r*s+c] != g0[r*s+c] {
+				changed++
+			}
+		}
+	}
+	if changed < pr.N*pr.N/2 {
+		t.Fatalf("only %d interior cells changed", changed)
+	}
+	if checksum(Sequential(pr)) != checksum(Sequential(pr)) {
+		t.Fatal("sequential solver not deterministic")
+	}
+}
+
+func TestRowsForPartition(t *testing.T) {
+	for _, n := range []int{30, 128} {
+		for _, p := range []int{1, 3, 4, 16} {
+			prev := 1
+			for r := 0; r < p; r++ {
+				lo, hi := rowsFor(n, p, r)
+				if lo != prev {
+					t.Fatalf("gap at rank %d", r)
+				}
+				prev = hi
+			}
+			if prev != n+1 {
+				t.Fatalf("rows not covered: end %d", prev)
+			}
+		}
+	}
+}
+
+func runSVMTest(t *testing.T, nodes int, proto svm.Protocol) {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(nodes))
+	defer m.Close()
+	pr := smallParams()
+	bytes := 8*pr.stride()*pr.stride() + 1<<15
+	s := svm.New(vmmc.NewSystem(m), svm.DefaultConfig(proto, bytes))
+	if el := RunSVM(s, pr); el <= 0 {
+		t.Fatal("non-positive time")
+	}
+}
+
+func TestOceanSVMSingleNode(t *testing.T) { runSVMTest(t, 1, svm.HLRC) }
+func TestOceanSVMHLRC(t *testing.T)       { runSVMTest(t, 4, svm.HLRC) }
+func TestOceanSVMHLRCAU(t *testing.T)     { runSVMTest(t, 4, svm.HLRCAU) }
+func TestOceanSVMAURC(t *testing.T)       { runSVMTest(t, 4, svm.AURC) }
+
+func runNXTest(t *testing.T, nodes int, mode ring.Mode) {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(nodes))
+	defer m.Close()
+	c := nx.New(vmmc.NewSystem(m), nx.Config{Mode: mode, RingBytes: 64 * 1024})
+	if el := RunNX(c, smallParams()); el <= 0 {
+		t.Fatal("non-positive time")
+	}
+}
+
+func TestOceanNXSingleNode(t *testing.T) { runNXTest(t, 1, ring.DU) }
+func TestOceanNXDU(t *testing.T)         { runNXTest(t, 4, ring.DU) }
+func TestOceanNXAU(t *testing.T)         { runNXTest(t, 4, ring.AU) }
+
+func TestOceanSVMSpeedup(t *testing.T) {
+	pr := Params{N: 64, Iters: 8, CellCost: DefaultParams().CellCost}
+	elapsed := func(nodes int) int64 {
+		m := machine.New(machine.DefaultConfig(nodes))
+		defer m.Close()
+		bytes := 8*pr.stride()*pr.stride() + 1<<15
+		s := svm.New(vmmc.NewSystem(m), svm.DefaultConfig(svm.AURC, bytes))
+		return int64(RunSVM(s, pr))
+	}
+	t1 := elapsed(1)
+	t4 := elapsed(4)
+	if t4 >= t1 {
+		t.Fatalf("no speedup: 1 node %d, 4 nodes %d", t1, t4)
+	}
+}

@@ -1,0 +1,96 @@
+// Package radix implements the SPLASH-2 integer radix sort kernel in
+// the two forms the paper evaluates: Radix-SVM (shared virtual memory;
+// the key permutation's scattered writes induce heavy page-level false
+// sharing) and Radix-VMMC (a native VMMC port whose automatic-update
+// version places keys directly into remote arrays, and whose
+// deliberate-update version gathers per-destination messages that
+// receivers scatter).
+//
+// The sort is real: keys move through the simulated communication
+// system and the result is validated, so protocol bugs surface as an
+// unsorted output rather than a skewed timing.
+package radix
+
+import (
+	"fmt"
+
+	"shrimp/internal/sim"
+)
+
+// Params configures a sort.
+type Params struct {
+	Keys  int   // total keys
+	Radix int   // digit base (power of two)
+	Iters int   // number of digit passes
+	Seed  int64 // deterministic key generator seed
+	// KeyCost is the modeled computation per key per pass on the 60 MHz
+	// node (histogram + permutation work), calibrated against Table 1.
+	KeyCost sim.Time
+}
+
+// DefaultParams returns a laptop-scale problem: the paper's 2M keys
+// scale down so full protocol sweeps stay fast; the access pattern
+// (and so the communication behaviour) is size-independent.
+func DefaultParams() Params {
+	return Params{
+		Keys:    1 << 17,
+		Radix:   256,
+		Iters:   3,
+		Seed:    12345,
+		KeyCost: 2 * sim.Microsecond,
+	}
+}
+
+// PaperParams returns the paper's problem size (2M keys, 3 iterations).
+func PaperParams() Params {
+	p := DefaultParams()
+	p.Keys = 2 << 20
+	return p
+}
+
+// generate produces the deterministic pseudo-random key set.
+func generate(pr Params) []uint32 {
+	keys := make([]uint32, pr.Keys)
+	x := uint64(pr.Seed)*6364136223846793005 + 1442695040888963407
+	mask := uint32(1)
+	for mask < uint32(pr.Radix) {
+		mask <<= 1
+	}
+	bits := 0
+	for r := pr.Radix; r > 1; r >>= 1 {
+		bits++
+	}
+	keyMask := uint32(1<<(bits*pr.Iters)) - 1
+	for i := range keys {
+		x = x*6364136223846793005 + 1442695040888963407
+		keys[i] = uint32(x>>33) & keyMask
+	}
+	return keys
+}
+
+// digit extracts the pass'th digit of a key.
+func digit(key uint32, pass, radix int) int {
+	bits := 0
+	for r := radix; r > 1; r >>= 1 {
+		bits++
+	}
+	return int(key>>(uint(pass*bits))) & (radix - 1)
+}
+
+// checkSorted validates a fully sorted key array.
+func checkSorted(keys []uint32) error {
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			return fmt.Errorf("radix: output unsorted at %d (%d > %d)",
+				i, keys[i-1], keys[i])
+		}
+	}
+	return nil
+}
+
+// split returns rank r's [lo,hi) share of n items over p ranks.
+func split(n, p, r int) (lo, hi int) {
+	lo = n * r / p
+	hi = n * (r + 1) / p
+	return
+}

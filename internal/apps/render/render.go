@@ -1,0 +1,238 @@
+// Package render implements the paper's Render-sockets workload: a
+// parallel volume renderer with a controller processor holding a
+// centralized task queue and worker processors that pull tile tasks,
+// ray-cast a replicated volumetric data set, and return pixels (§3).
+// The data set is shipped to every worker at connection establishment,
+// as in the original PARFUM renderer.
+package render
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"shrimp/internal/machine"
+	"shrimp/internal/sim"
+	"shrimp/internal/socketlib"
+	"shrimp/internal/stats"
+	"shrimp/internal/vmmc"
+)
+
+// Params configures a render.
+type Params struct {
+	VolumeDim int // V^3 density volume
+	ImageSize int // square image
+	TileSize  int
+	// SampleCost models one ray sample (trilinear fetch + compositing)
+	// on the 60 MHz node.
+	SampleCost sim.Time
+}
+
+// DefaultParams returns a laptop-scale frame.
+func DefaultParams() Params {
+	return Params{VolumeDim: 24, ImageSize: 64, TileSize: 16, SampleCost: 600 * sim.Nanosecond}
+}
+
+const renderPort = 200
+
+// Message kinds on the worker->controller direction.
+const (
+	reqTask   = 1
+	reqResult = 2
+)
+
+// volume generates the deterministic density field (two gaussian blobs
+// plus a ramp — enough structure to make every tile distinct).
+func volume(dim int) []byte {
+	v := make([]byte, dim*dim*dim)
+	for z := 0; z < dim; z++ {
+		for y := 0; y < dim; y++ {
+			for x := 0; x < dim; x++ {
+				fx, fy, fz := float64(x)/float64(dim), float64(y)/float64(dim), float64(z)/float64(dim)
+				g1 := math.Exp(-20 * ((fx-0.35)*(fx-0.35) + (fy-0.4)*(fy-0.4) + (fz-0.5)*(fz-0.5)))
+				g2 := math.Exp(-30 * ((fx-0.7)*(fx-0.7) + (fy-0.6)*(fy-0.6) + (fz-0.3)*(fz-0.3)))
+				d := 255 * (0.7*g1 + 0.5*g2 + 0.1*fz)
+				if d > 255 {
+					d = 255
+				}
+				v[(z*dim+y)*dim+x] = byte(d)
+			}
+		}
+	}
+	return v
+}
+
+// castRay marches one orthographic ray through the volume and composites
+// a front-to-back alpha blend, charging per sample.
+func castRay(vol []byte, dim int, px, py, imgSize int, charge func()) byte {
+	fx := float64(px) / float64(imgSize) * float64(dim-1)
+	fy := float64(py) / float64(imgSize) * float64(dim-1)
+	ix, iy := int(fx), int(fy)
+	var intensity, transmit float64
+	transmit = 1
+	for z := 0; z < dim; z++ {
+		d := float64(vol[(z*dim+iy)*dim+ix]) / 255
+		alpha := d * 0.2
+		intensity += transmit * alpha * d
+		transmit *= 1 - alpha
+		charge()
+		if transmit < 0.01 {
+			break
+		}
+	}
+	out := intensity * 255
+	if out > 255 {
+		out = 255
+	}
+	return byte(out)
+}
+
+// renderTile computes one tile of the image.
+func renderTile(vol []byte, pr Params, tile int, charge func()) []byte {
+	tilesPerRow := pr.ImageSize / pr.TileSize
+	tx := (tile % tilesPerRow) * pr.TileSize
+	ty := (tile / tilesPerRow) * pr.TileSize
+	out := make([]byte, pr.TileSize*pr.TileSize)
+	for y := 0; y < pr.TileSize; y++ {
+		for x := 0; x < pr.TileSize; x++ {
+			out[y*pr.TileSize+x] = castRay(vol, pr.VolumeDim, tx+x, ty+y, pr.ImageSize, charge)
+		}
+	}
+	return out
+}
+
+// tiles reports the task count.
+func (pr Params) tiles() int {
+	n := pr.ImageSize / pr.TileSize
+	return n * n
+}
+
+// Sequential renders the frame natively (validation reference).
+func Sequential(pr Params) []byte {
+	vol := volume(pr.VolumeDim)
+	img := make([]byte, pr.ImageSize*pr.ImageSize)
+	for t := 0; t < pr.tiles(); t++ {
+		placeTile(img, pr, t, renderTile(vol, pr, t, func() {}))
+	}
+	return img
+}
+
+// placeTile copies a rendered tile into the frame.
+func placeTile(img []byte, pr Params, tile int, data []byte) {
+	tilesPerRow := pr.ImageSize / pr.TileSize
+	tx := (tile % tilesPerRow) * pr.TileSize
+	ty := (tile / tilesPerRow) * pr.TileSize
+	for y := 0; y < pr.TileSize; y++ {
+		copy(img[(ty+y)*pr.ImageSize+tx:], data[y*pr.TileSize:(y+1)*pr.TileSize])
+	}
+}
+
+// Run executes the render over a machine: node 0 is the controller, all
+// other nodes are workers pulling tiles from the centralized queue. The
+// assembled frame is validated against the sequential reference. With a
+// single node the controller renders everything itself.
+func Run(sys *vmmc.System, cfg socketlib.Config, pr Params) sim.Time {
+	m := sys.M
+	nprocs := len(sys.EPs)
+	vol := volume(pr.VolumeDim)
+	img := make([]byte, pr.ImageSize*pr.ImageSize)
+
+	if nprocs == 1 {
+		elapsed := m.RunParallel("render", func(nd *machine.Node, p *sim.Proc) {
+			cpu := nd.CPUFor(p)
+			for t := 0; t < pr.tiles(); t++ {
+				placeTile(img, pr, t, renderTile(vol, pr, t, func() { cpu.Charge(pr.SampleCost) }))
+			}
+		})
+		validateImage(pr, img)
+		return elapsed
+	}
+
+	stack := socketlib.NewStack(sys, cfg)
+	l := stack.Listen(0, renderPort)
+
+	// Controller state shared by the per-connection handlers on node 0.
+	nextTile := 0
+	resultsLeft := pr.tiles()
+	done := sim.NewCond(m.E)
+
+	ctrl := m.Nodes[0]
+	ctrl.SpawnHandler("render-accept", func(p *sim.Proc, c *machine.CPU) {
+		for w := 1; w < nprocs; w++ {
+			conn := l.Accept(p)
+			ctrl.SpawnHandler(fmt.Sprintf("render-ctl@%d", conn.PeerNode()),
+				func(p *sim.Proc, c *machine.CPU) {
+					// Ship the replicated data set at connection
+					// establishment.
+					conn.WriteBlock(p, vol)
+					for {
+						req := conn.ReadBlock(p)
+						switch req[0] {
+						case reqTask:
+							var rep [8]byte
+							if nextTile < pr.tiles() {
+								binary.LittleEndian.PutUint32(rep[0:], 1)
+								binary.LittleEndian.PutUint32(rep[4:], uint32(nextTile))
+								nextTile++
+								conn.WriteBlock(p, rep[:])
+							} else {
+								conn.WriteBlock(p, rep[:]) // 0 = no more work
+								return
+							}
+						case reqResult:
+							tile := int(binary.LittleEndian.Uint32(req[1:]))
+							placeTile(img, pr, tile, req[5:])
+							c.Charge(ctrl.M.Cfg.Cost.CopyTime(len(req) - 5))
+							resultsLeft--
+							if resultsLeft == 0 {
+								done.Broadcast()
+							}
+						}
+					}
+				})
+		}
+	})
+
+	elapsed := m.RunParallel("render", func(nd *machine.Node, p *sim.Proc) {
+		rank := int(nd.ID)
+		if rank == 0 {
+			// The controller application waits for the frame.
+			cpu := nd.CPUFor(p)
+			since := cpu.BeginWait(p)
+			for resultsLeft > 0 {
+				done.Wait(p)
+			}
+			cpu.EndWait(p, stats.Comm, since)
+			return
+		}
+		conn := stack.Dial(p, rank, 0, renderPort)
+		myVol := conn.ReadBlock(p)
+		cpu := nd.CPUFor(p)
+		for {
+			conn.WriteBlock(p, []byte{reqTask})
+			rep := conn.ReadBlock(p)
+			if binary.LittleEndian.Uint32(rep[0:]) == 0 {
+				return
+			}
+			tile := int(binary.LittleEndian.Uint32(rep[4:]))
+			data := renderTile(myVol, pr, tile, func() { cpu.Charge(pr.SampleCost) })
+			msg := make([]byte, 5+len(data))
+			msg[0] = reqResult
+			binary.LittleEndian.PutUint32(msg[1:], uint32(tile))
+			copy(msg[5:], data)
+			conn.WriteBlock(p, msg)
+		}
+	})
+	validateImage(pr, img)
+	return elapsed
+}
+
+// validateImage compares a frame against the sequential reference.
+func validateImage(pr Params, got []byte) {
+	want := Sequential(pr)
+	for i := range want {
+		if got[i] != want[i] {
+			panic(fmt.Sprintf("render: pixel %d = %d, want %d", i, got[i], want[i]))
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package render
+
+import (
+	"testing"
+
+	"shrimp/internal/machine"
+	"shrimp/internal/socketlib"
+	"shrimp/internal/vmmc"
+)
+
+func smallParams() Params {
+	return Params{VolumeDim: 12, ImageSize: 32, TileSize: 8, SampleCost: DefaultParams().SampleCost}
+}
+
+func TestSequentialDeterministicAndNonTrivial(t *testing.T) {
+	a := Sequential(smallParams())
+	b := Sequential(smallParams())
+	lit := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("render not deterministic")
+		}
+		if a[i] > 0 {
+			lit++
+		}
+	}
+	if lit < len(a)/8 {
+		t.Fatalf("image mostly empty: %d lit pixels", lit)
+	}
+}
+
+func TestTilePlacementCoversImage(t *testing.T) {
+	pr := smallParams()
+	img := make([]byte, pr.ImageSize*pr.ImageSize)
+	for i := range img {
+		img[i] = 0xff
+	}
+	for tile := 0; tile < pr.tiles(); tile++ {
+		placeTile(img, pr, tile, make([]byte, pr.TileSize*pr.TileSize))
+	}
+	for i, v := range img {
+		if v != 0 {
+			t.Fatalf("pixel %d not covered by any tile", i)
+		}
+	}
+}
+
+func run(t *testing.T, nodes int) {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(nodes))
+	defer m.Close()
+	if el := Run(vmmc.NewSystem(m), socketlib.DefaultConfig(), smallParams()); el <= 0 {
+		t.Fatal("non-positive time")
+	}
+}
+
+func TestRenderSingleNode(t *testing.T) { run(t, 1) }
+func TestRenderTwoNodes(t *testing.T)   { run(t, 2) }
+func TestRenderFourNodes(t *testing.T)  { run(t, 4) }
+func TestRenderEightNodes(t *testing.T) { run(t, 8) }

@@ -1,0 +1,214 @@
+// Package bsp is a bulk-synchronous-parallel library over VMMC,
+// mirroring cBSP, the modified-BSP system built on SHRIMP (Alpert &
+// Philbin, [3] in the paper). Computation proceeds in supersteps: Put
+// writes one-sided into a peer's shared area, and Sync makes all puts
+// of the superstep visible. Synchronization is "zero-cost" in the cBSP
+// sense: each rank announces with a counter word — on the same ordered
+// channel as its data — how many puts it sent, so the barrier piggybacks
+// on the data stream instead of a separate round of synchronization
+// messages.
+package bsp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"shrimp/internal/machine"
+	"shrimp/internal/memory"
+	"shrimp/internal/sim"
+	"shrimp/internal/stats"
+	"shrimp/internal/vmmc"
+)
+
+// Config sizes the per-rank shared areas.
+type Config struct {
+	// AreaBytes is each rank's put-target area.
+	AreaBytes int
+}
+
+// DefaultConfig gives each rank 256 KB.
+func DefaultConfig() Config { return Config{AreaBytes: 256 * 1024} }
+
+// World is the BSP communicator spanning all nodes.
+type World struct {
+	sys   *vmmc.System
+	cfg   Config
+	procs []*Proc
+}
+
+// Proc is the per-rank library state.
+type Proc struct {
+	w    *World
+	rank int
+	node *machine.Node
+	ep   *vmmc.Endpoint
+
+	area    *vmmc.Export   // my put-target area (+1 control page)
+	imports []*vmmc.Import // peers' areas
+	scratch memory.Addr
+
+	step     int
+	sentTo   []uint32 // puts sent to each peer this superstep
+	consumed []uint32 // puts seen from each peer, cumulative
+	seen     int64
+}
+
+// ctl-page layout (last page of each area): per sender rank, two words:
+// cumulative puts announced [8*rank] and the superstep stamp [8*rank+4].
+
+// New builds a BSP world over every node of sys.
+func New(sys *vmmc.System, cfg Config) *World {
+	if cfg.AreaBytes <= 0 {
+		cfg.AreaBytes = DefaultConfig().AreaBytes
+	}
+	n := len(sys.EPs)
+	w := &World{sys: sys, cfg: cfg}
+	pages := (cfg.AreaBytes + memory.PageSize - 1) / memory.PageSize
+	for r := 0; r < n; r++ {
+		pr := &Proc{
+			w:        w,
+			rank:     r,
+			node:     sys.M.Nodes[r],
+			ep:       sys.EP(r),
+			sentTo:   make([]uint32, n),
+			consumed: make([]uint32, n),
+		}
+		pr.area = pr.ep.Export(nil, pages+1)
+		pr.scratch = pr.node.Mem.Alloc(1)
+		w.procs = append(w.procs, pr)
+	}
+	for r := 0; r < n; r++ {
+		w.procs[r].imports = make([]*vmmc.Import, n)
+		for o := 0; o < n; o++ {
+			if o != r {
+				w.procs[r].imports[o] = w.procs[r].ep.Import(nil, w.procs[o].area)
+			}
+		}
+	}
+	return w
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return len(w.procs) }
+
+// Proc returns the library state for a rank.
+func (w *World) Proc(rank int) *Proc { return w.procs[rank] }
+
+// Rank reports this process's rank.
+func (pr *Proc) Rank() int { return pr.rank }
+
+// Size reports the world size.
+func (pr *Proc) Size() int { return len(pr.w.procs) }
+
+// Node returns the underlying machine node.
+func (pr *Proc) Node() *machine.Node { return pr.node }
+
+// AreaBytes reports the usable put-target area size.
+func (pr *Proc) AreaBytes() int { return (pr.area.PageCnt - 1) * memory.PageSize }
+
+func (pr *Proc) ctlOff() int { return (pr.area.PageCnt - 1) * memory.PageSize }
+
+// Put writes data one-sided into peer dst's area at byte offset off.
+// The write becomes visible to dst after dst's next Sync. As in classic
+// BSP practice, a rank that puts to the same offset in consecutive
+// supersteps can overwrite data the receiver has not consumed yet;
+// applications double-buffer (alternate offsets per superstep) when the
+// consumer reads after its Sync.
+func (pr *Proc) Put(p *sim.Proc, dst, off int, data []byte) {
+	if dst == pr.rank {
+		// Local put: a plain copy into our own area.
+		pr.node.CPUFor(p).Charge(pr.node.M.Cfg.Cost.CopyTime(len(data)))
+		pr.node.Mem.Write(p, pr.area.Base+memory.Addr(off), data)
+		return
+	}
+	if off < 0 || off+len(data) > pr.AreaBytes() {
+		panic(fmt.Sprintf("bsp: put of %d bytes at %d outside area", len(data), off))
+	}
+	// Stage and send; deliberate update, zero-copy model (the stage is
+	// simulator bookkeeping over the caller's buffer).
+	pr.ep.WaitSendsDone(p) // scratch-area reuse safety
+	stage := pr.scratchArea(len(data))
+	pr.node.Mem.Write(p, stage, data)
+	pr.imports[dst].Send(p, stage, off, len(data), vmmc.SendOpts{})
+	pr.sentTo[dst]++
+}
+
+// scratchArea grows the staging area on demand.
+func (pr *Proc) scratchArea(n int) memory.Addr {
+	if n <= memory.PageSize {
+		return pr.scratch
+	}
+	// Rare large put: allocate a dedicated staging run.
+	return pr.node.Mem.AllocBytes(n)
+}
+
+// PutUint32 writes one word into peer dst's area.
+func (pr *Proc) PutUint32(p *sim.Proc, dst, off int, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	pr.Put(p, dst, off, b[:])
+}
+
+// Get reads from this rank's own area (puts from the previous
+// superstep are visible after Sync).
+func (pr *Proc) Get(p *sim.Proc, off int, buf []byte) {
+	pr.node.CPUFor(p).Charge(pr.node.M.Cfg.Cost.CopyTime(len(buf)))
+	pr.node.Mem.Read(p, pr.area.Base+memory.Addr(off), buf)
+}
+
+// GetUint32 reads one word from this rank's own area.
+func (pr *Proc) GetUint32(p *sim.Proc, off int) uint32 {
+	return pr.node.LoadUint32(p, pr.area.Base+memory.Addr(off))
+}
+
+// Sync ends the superstep: it announces this rank's put counts to every
+// peer on the ordered data channels, then waits until every peer's
+// announcement for this superstep has arrived (by which point, by
+// channel ordering, so have their puts). This is cBSP's zero-cost
+// synchronization: no separate barrier round-trip beyond the counter
+// words.
+func (pr *Proc) Sync(p *sim.Proc) {
+	n := pr.Size()
+	if n == 1 {
+		pr.step++
+		return
+	}
+	step := uint32(pr.step + 1)
+	// Announce: cumulative put count + step stamp, after the data.
+	for o := 0; o < n; o++ {
+		if o == pr.rank {
+			continue
+		}
+		pr.consumed[o] += 0 // (kept for symmetry with richer protocols)
+		var b [8]byte
+		binary.LittleEndian.PutUint32(b[0:], pr.sentTo[o])
+		binary.LittleEndian.PutUint32(b[4:], step)
+		pr.ep.WaitSendsDone(p)
+		pr.node.Mem.Write(p, pr.scratch, b[:])
+		pr.imports[o].Send(p, pr.scratch, pr.ctlOff()+8*pr.rank, 8,
+			vmmc.SendOpts{Internal: true})
+	}
+	// Wait for every peer's stamp.
+	cpu := pr.node.CPUFor(p)
+	since := cpu.BeginWait(p)
+	for {
+		ready := true
+		for o := 0; o < n; o++ {
+			if o == pr.rank {
+				continue
+			}
+			stamp := pr.node.Mem.ReadUint32(nil,
+				pr.area.Base+memory.Addr(pr.ctlOff()+8*o+4))
+			if stamp < step {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			break
+		}
+		pr.seen = pr.area.WaitUpdate(p, pr.seen)
+	}
+	cpu.EndWait(p, stats.Barrier, since)
+	pr.step++
+}

@@ -1,0 +1,133 @@
+package bsp
+
+import (
+	"bytes"
+	"testing"
+
+	"shrimp/internal/machine"
+	"shrimp/internal/sim"
+	"shrimp/internal/vmmc"
+)
+
+func newWorld(t *testing.T, nodes int) *World {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(nodes))
+	t.Cleanup(m.Close)
+	return New(vmmc.NewSystem(m), Config{AreaBytes: 64 * 1024})
+}
+
+func run(w *World, body func(pr *Proc, p *sim.Proc)) sim.Time {
+	return w.sys.M.RunParallel("bsp", func(nd *machine.Node, p *sim.Proc) {
+		body(w.Proc(int(nd.ID)), p)
+	})
+}
+
+func TestPutVisibleAfterSync(t *testing.T) {
+	const n = 4
+	w := newWorld(t, n)
+	run(w, func(pr *Proc, p *sim.Proc) {
+		// Everyone puts its rank into every peer's slot row.
+		for o := 0; o < n; o++ {
+			pr.PutUint32(p, o, 4*pr.Rank(), uint32(100+pr.Rank()))
+		}
+		pr.Sync(p)
+		for r := 0; r < n; r++ {
+			if got := pr.GetUint32(p, 4*r); got != uint32(100+r) {
+				t.Errorf("rank %d slot %d = %d", pr.Rank(), r, got)
+			}
+		}
+	})
+}
+
+func TestSupersteps(t *testing.T) {
+	// A ring shift repeated over supersteps with double-buffered slots:
+	// after k steps, the token started at rank 0 sits at rank k%n.
+	const n = 4
+	const steps = 6
+	w := newWorld(t, n)
+	run(w, func(pr *Proc, p *sim.Proc) {
+		token := uint32(0)
+		if pr.Rank() == 0 {
+			token = 777
+		}
+		for s := 0; s < steps; s++ {
+			slot := 64 * (s % 2) // double buffering
+			next := (pr.Rank() + 1) % n
+			pr.PutUint32(p, next, slot, token)
+			pr.Sync(p)
+			token = pr.GetUint32(p, slot)
+		}
+		want := uint32(0)
+		if pr.Rank() == steps%n {
+			want = 777
+		}
+		if token != want {
+			t.Errorf("rank %d token %d, want %d", pr.Rank(), token, want)
+		}
+	})
+}
+
+func TestLargePut(t *testing.T) {
+	w := newWorld(t, 2)
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	run(w, func(pr *Proc, p *sim.Proc) {
+		if pr.Rank() == 0 {
+			pr.Put(p, 1, 128, data)
+		}
+		pr.Sync(p)
+		if pr.Rank() == 1 {
+			got := make([]byte, len(data))
+			pr.Get(p, 128, got)
+			if !bytes.Equal(got, data) {
+				t.Error("large put corrupted")
+			}
+		}
+	})
+}
+
+func TestSyncIsBarrier(t *testing.T) {
+	const n = 5
+	w := newWorld(t, n)
+	var maxArrive, minLeave sim.Time
+	minLeave = 1 << 62
+	run(w, func(pr *Proc, p *sim.Proc) {
+		pr.Node().CPUFor(p).Charge(sim.Time(pr.Rank()) * 300 * sim.Microsecond)
+		pr.Node().CPUFor(p).Flush(p)
+		if t := p.Now(); t > maxArrive {
+			maxArrive = t
+		}
+		pr.Sync(p)
+		if t := p.Now(); t < minLeave {
+			minLeave = t
+		}
+	})
+	if minLeave < maxArrive {
+		t.Fatalf("a rank left Sync at %v before the last arrived at %v", minLeave, maxArrive)
+	}
+}
+
+func TestSingleRankWorld(t *testing.T) {
+	w := newWorld(t, 1)
+	run(w, func(pr *Proc, p *sim.Proc) {
+		pr.PutUint32(p, 0, 0, 9)
+		pr.Sync(p)
+		if pr.GetUint32(p, 0) != 9 {
+			t.Error("local put lost")
+		}
+	})
+}
+
+func TestZeroCostSyncLowTraffic(t *testing.T) {
+	// The sync should add only counter words on existing channels: with
+	// no puts at all, one superstep costs (n-1) tiny sends per rank.
+	const n = 4
+	w := newWorld(t, n)
+	run(w, func(pr *Proc, p *sim.Proc) { pr.Sync(p) })
+	c := w.sys.M.Acct.TotalCounters()
+	if c.DUTransfers > int64(3*n*(n-1)) {
+		t.Fatalf("sync used %d transfers; not zero-cost", c.DUTransfers)
+	}
+}

@@ -1,0 +1,88 @@
+// Package machine assembles the SHRIMP node and system model: a CPU
+// cost-accounting model, per-node memory and memory bus, the network
+// interface, and the mesh backplane, plus interrupt delivery and the
+// kernel-cost knobs (system-call-per-send) the paper's what-if
+// experiments toggle.
+package machine
+
+import "shrimp/internal/sim"
+
+// CostModel captures the host-side timing of one node. The default
+// values are calibrated so the simulator hits the paper's
+// microbenchmarks: ~6 us deliberate-update latency, ~3.71 us
+// automatic-update single-word latency, and <2 us user-level DMA send
+// overhead on 60 MHz Pentium / EISA nodes.
+type CostModel struct {
+	// CycleTime is one CPU clock (16.67 ns at 60 MHz).
+	CycleTime sim.Time
+	// SendOverheadDU is the user-level two-instruction UDMA initiation
+	// sequence, including the proxy-space references (§4.3: <2 us).
+	SendOverheadDU sim.Time
+	// SyscallCost is the trap plus kernel driver work a
+	// system-call-per-send design pays on every message (§4.3).
+	SyscallCost sim.Time
+	// InterruptCost is a null kernel-level interrupt handler (§4.4).
+	InterruptCost sim.Time
+	// NotifyDispatchCost delivers a queued user-level notification
+	// (semantically like a Unix signal, §2.2).
+	NotifyDispatchCost sim.Time
+	// StoreCost is an ordinary cached store.
+	StoreCost sim.Time
+	// AUStoreCost is a store to a write-through automatic-update-bound
+	// page, which must go to the memory bus.
+	AUStoreCost sim.Time
+	// LoadCost is an ordinary cached load (used for polling receive
+	// buffers).
+	LoadCost sim.Time
+	// MemCopyBandwidth is local memory copy throughput in bytes/sec
+	// (gather/scatter, diff application).
+	MemCopyBandwidth float64
+	// PageFaultCost is a VM protection trap entry/exit (SVM).
+	PageFaultCost sim.Time
+	// DiffWordCost is the per-32-bit-word cost of creating or applying
+	// an SVM diff.
+	DiffWordCost sim.Time
+}
+
+// DefaultCostModel returns the SHRIMP node (60 MHz Pentium, EISA).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		CycleTime:          17 * sim.Nanosecond,
+		SendOverheadDU:     1700 * sim.Nanosecond,
+		SyscallCost:        11 * sim.Microsecond,
+		InterruptCost:      17 * sim.Microsecond,
+		NotifyDispatchCost: 9 * sim.Microsecond,
+		StoreCost:          34 * sim.Nanosecond,
+		AUStoreCost:        450 * sim.Nanosecond,
+		LoadCost:           34 * sim.Nanosecond,
+		MemCopyBandwidth:   45e6,
+		PageFaultCost:      24 * sim.Microsecond,
+		DiffWordCost:       90 * sim.Nanosecond,
+	}
+}
+
+// MyrinetCostModel returns the §4.1 comparison host: a 166 MHz Pentium
+// with PCI. The CPU-side costs scale with clock rate; the send path is
+// programmed I/O into the adapter plus firmware processing (modeled in
+// the NIC's MyrinetLikeConfig).
+func MyrinetCostModel() CostModel {
+	c := DefaultCostModel()
+	scale := func(t sim.Time) sim.Time { return t * 60 / 166 }
+	c.CycleTime = 6 * sim.Nanosecond
+	c.SendOverheadDU = 2600 * sim.Nanosecond // PIO descriptor + doorbell
+	c.SyscallCost = scale(c.SyscallCost)
+	c.InterruptCost = scale(c.InterruptCost)
+	c.NotifyDispatchCost = scale(c.NotifyDispatchCost)
+	c.StoreCost = scale(c.StoreCost)
+	c.AUStoreCost = scale(c.AUStoreCost)
+	c.LoadCost = scale(c.LoadCost)
+	c.MemCopyBandwidth = 120e6
+	c.PageFaultCost = scale(c.PageFaultCost)
+	c.DiffWordCost = scale(c.DiffWordCost)
+	return c
+}
+
+// CopyTime is the local memory-copy time for n bytes.
+func (c *CostModel) CopyTime(n int) sim.Time {
+	return sim.Time(float64(n) / c.MemCopyBandwidth * 1e9)
+}

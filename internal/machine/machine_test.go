@@ -1,0 +1,357 @@
+package machine
+
+import (
+	"testing"
+
+	"shrimp/internal/memory"
+	"shrimp/internal/nic"
+	"shrimp/internal/sim"
+	"shrimp/internal/stats"
+)
+
+// pair builds a 2-node machine with an exported page on node 1 and a
+// proxy/AU mapping on node 0, returning the machine and the two
+// page-aligned buffer addresses.
+func pair(t *testing.T, mut func(*Config)) (m *Machine, srcAddr, proxyAddr, dstAddr memory.Addr) {
+	t.Helper()
+	cfg := DefaultConfig(2)
+	if mut != nil {
+		mut(&cfg)
+	}
+	m = New(cfg)
+	t.Cleanup(m.Close)
+	n0, n1 := m.Nodes[0], m.Nodes[1]
+
+	dstAddr = n1.Mem.Alloc(1) // receive buffer on node 1
+	n1.NIC.SetIncoming(dstAddr.VPN(), false)
+
+	srcAddr = n0.Mem.Alloc(1)   // send data on node 0
+	proxyAddr = n0.Mem.Alloc(1) // proxy page on node 0
+	n0.NIC.MapOutgoing(proxyAddr.VPN(), n1.ID, dstAddr.VPN(), false, false, false)
+	return m, srcAddr, proxyAddr, dstAddr
+}
+
+func TestDeliberateUpdateMovesBytes(t *testing.T) {
+	m, src, proxy, dst := pair(t, nil)
+	n0, n1 := m.Nodes[0], m.Nodes[1]
+	payload := []byte("deliberate update payload")
+	n0.Mem.Write(nil, src, payload)
+
+	m.RunParallel("du", func(nd *Node, p *sim.Proc) {
+		if nd != n0 {
+			return
+		}
+		nd.CPU.ChargeTo(stats.Comm, m.Cfg.Cost.SendOverheadDU)
+		nd.CPU.Flush(p)
+		nd.NIC.SendDU(p, src, proxy, len(payload), false, true)
+		nd.NIC.WaitDUIdle(p)
+		p.Sleep(100 * sim.Microsecond) // let delivery complete
+	})
+
+	got := make([]byte, len(payload))
+	n1.Mem.Read(nil, dst, got)
+	if string(got) != string(payload) {
+		t.Fatalf("received %q", got)
+	}
+	if n1.Acct.Counters.MessagesRecv != 1 {
+		t.Fatalf("MessagesRecv = %d", n1.Acct.Counters.MessagesRecv)
+	}
+	if n0.Acct.Counters.MessagesSent != 1 || n0.Acct.Counters.DUTransfers != 1 {
+		t.Fatalf("sender counters %+v", n0.Acct.Counters)
+	}
+}
+
+func TestAutomaticUpdatePropagatesStores(t *testing.T) {
+	m, _, _, dst := pair(t, nil)
+	n0, n1 := m.Nodes[0], m.Nodes[1]
+	// Bind a local page on node 0 for AU to node 1's buffer (no combine).
+	auAddr := n0.Mem.Alloc(1)
+	n0.NIC.MapOutgoing(auAddr.VPN(), n1.ID, dst.VPN(), true, false, false)
+
+	m.RunParallel("au", func(nd *Node, p *sim.Proc) {
+		if nd != n0 {
+			return
+		}
+		nd.StoreUint32(p, auAddr+8, 0xabcd1234)
+		nd.CPU.Flush(p)
+		p.Sleep(100 * sim.Microsecond)
+	})
+
+	if got := n1.Mem.ReadUint32(nil, dst+8); got != 0xabcd1234 {
+		t.Fatalf("AU value at receiver = %#x", got)
+	}
+	if n0.Acct.Counters.AUStores == 0 || n0.Acct.Counters.AUPackets == 0 {
+		t.Fatalf("AU counters %+v", n0.Acct.Counters)
+	}
+}
+
+func TestAUCombiningReducesPackets(t *testing.T) {
+	run := func(combine bool) int64 {
+		m, _, _, dst := pair(t, nil)
+		n0 := m.Nodes[0]
+		auAddr := n0.Mem.Alloc(1)
+		n0.NIC.MapOutgoing(auAddr.VPN(), m.Nodes[1].ID, dst.VPN(), true, combine, false)
+		buf := make([]byte, 1024)
+		for i := range buf {
+			buf[i] = byte(i)
+		}
+		m.RunParallel("au", func(nd *Node, p *sim.Proc) {
+			if nd != n0 {
+				return
+			}
+			nd.StoreBytes(p, auAddr, buf)
+			nd.CPU.Flush(p)
+			p.Sleep(time1ms)
+		})
+		got := make([]byte, len(buf))
+		m.Nodes[1].Mem.Read(nil, dst, got)
+		for i := range got {
+			if got[i] != buf[i] {
+				panic("AU data corrupted")
+			}
+		}
+		return n0.Acct.Counters.AUPackets
+	}
+	with := run(true)
+	without := run(false)
+	if with*4 > without {
+		t.Fatalf("combining did not reduce packets: with=%d without=%d", with, without)
+	}
+}
+
+const time1ms = sim.Millisecond
+
+func TestFIFODrainsFasterThanItFills(t *testing.T) {
+	// §4.5.2: in the absence of incoming traffic the FIFO drains faster
+	// than the CPU can fill it, so even a tiny FIFO never stalls.
+	m, _, _, dst := pair(t, func(c *Config) {
+		c.NIC.OutFIFOBytes = 1024
+		c.NIC.FIFOThresholdBytes = 512
+		c.NIC.FIFOLowWaterBytes = 128
+	})
+	n0 := m.Nodes[0]
+	auAddr := n0.Mem.Alloc(1)
+	n0.NIC.MapOutgoing(auAddr.VPN(), m.Nodes[1].ID, dst.VPN(), true, false, false)
+	buf := make([]byte, 4096)
+	m.RunParallel("burst", func(nd *Node, p *sim.Proc) {
+		if nd != n0 {
+			return
+		}
+		nd.StoreBytes(p, auAddr, buf)
+		nd.CPU.Flush(p)
+		p.Sleep(time1ms)
+	})
+	if n0.Acct.Counters.FlowStalls != 0 {
+		t.Fatalf("unexpected stalls without incoming traffic: %d", n0.Acct.Counters.FlowStalls)
+	}
+}
+
+func TestFlowControlStallsWhenIncomingBlocksDrain(t *testing.T) {
+	// §4.5.2: incoming packets have priority for the NIC port, so the
+	// FIFO cannot drain while packets arrive; with a tiny FIFO the
+	// threshold interrupt fires and AU stores stall.
+	m, src, proxy, dst := pair(t, func(c *Config) {
+		c.NIC.OutFIFOBytes = 1024
+		c.NIC.FIFOThresholdBytes = 512
+		c.NIC.FIFOLowWaterBytes = 128
+	})
+	n0, n1 := m.Nodes[0], m.Nodes[1]
+	// Reverse path: node 1 floods node 0 with large DU transfers.
+	rev := n0.Mem.Alloc(1)
+	n0.NIC.SetIncoming(rev.VPN(), false)
+	src1 := n1.Mem.Alloc(1)
+	proxy1 := n1.Mem.Alloc(1)
+	n1.NIC.MapOutgoing(proxy1.VPN(), n0.ID, rev.VPN(), false, false, false)
+	_ = src
+	_ = proxy
+
+	auAddr := n0.Mem.Alloc(1)
+	n0.NIC.MapOutgoing(auAddr.VPN(), n1.ID, dst.VPN(), true, false, false)
+	buf := make([]byte, 4096)
+
+	m.RunParallel("contend", func(nd *Node, p *sim.Proc) {
+		switch nd {
+		case n1:
+			for i := 0; i < 20; i++ {
+				nd.NIC.SendDU(p, src1, proxy1, 4096, false, true)
+			}
+		case n0:
+			p.Sleep(200 * sim.Microsecond) // let incoming traffic start
+			for i := 0; i < 4; i++ {
+				nd.StoreBytes(p, auAddr, buf)
+			}
+			nd.CPU.Flush(p)
+		}
+		p.Sleep(10 * time1ms)
+	})
+	if n0.Acct.Counters.FlowStalls == 0 {
+		t.Fatal("no flow-control stalls while incoming traffic blocks the drain")
+	}
+	if hw := n0.NIC.FIFOHighWater(); hw > 1024 {
+		t.Fatalf("FIFO exceeded capacity: high water %d", hw)
+	}
+	// Data must still arrive intact despite the stalls.
+	got := make([]byte, len(buf))
+	n1.Mem.Read(nil, dst, got)
+	for i := range got {
+		if got[i] != buf[i] {
+			t.Fatalf("AU data corrupted at %d", i)
+		}
+	}
+}
+
+func TestInterruptPerMessageKnob(t *testing.T) {
+	m, src, proxy, _ := pair(t, func(c *Config) { c.NIC.InterruptPerMessage = true })
+	n0, n1 := m.Nodes[0], m.Nodes[1]
+	m.RunParallel("send", func(nd *Node, p *sim.Proc) {
+		if nd != n0 {
+			return
+		}
+		for i := 0; i < 5; i++ {
+			nd.NIC.SendDU(p, src, proxy, 64, false, true)
+			nd.NIC.WaitDUIdle(p)
+		}
+		p.Sleep(time1ms)
+	})
+	if n1.Acct.Counters.Interrupts != 5 {
+		t.Fatalf("receiver interrupts = %d, want 5", n1.Acct.Counters.Interrupts)
+	}
+}
+
+func TestNotificationInterruptRequiresBothBits(t *testing.T) {
+	cases := []struct {
+		sender, receiver bool
+		want             int64
+	}{
+		{false, false, 0},
+		{true, false, 0},
+		{false, true, 0},
+		{true, true, 1},
+	}
+	for _, c := range cases {
+		m, src, proxy, dst := pair(t, nil)
+		n0, n1 := m.Nodes[0], m.Nodes[1]
+		n1.NIC.SetIncomingInterrupt(dst.VPN(), c.receiver)
+		notified := 0
+		n1.SetNotifyDispatch(func(p *sim.Proc, pkt *nic.Packet) { notified++ })
+		m.RunParallel("send", func(nd *Node, p *sim.Proc) {
+			if nd != n0 {
+				return
+			}
+			nd.NIC.SendDU(p, src, proxy, 16, c.sender, true)
+			p.Sleep(time1ms)
+		})
+		if int64(notified) != c.want {
+			t.Errorf("sender=%v receiver=%v: notifications = %d, want %d",
+				c.sender, c.receiver, notified, c.want)
+		}
+	}
+}
+
+func TestDUQueueDepthBackpressure(t *testing.T) {
+	// With depth 1, the second send must wait for the first transfer's
+	// DMA; with depth 2 it queues immediately. Initiation time of the
+	// second send should differ.
+	initiation := func(depth int) sim.Time {
+		m, src, proxy, _ := pair(t, func(c *Config) { c.NIC.DUQueueDepth = depth })
+		n0 := m.Nodes[0]
+		var second sim.Time
+		m.RunParallel("q", func(nd *Node, p *sim.Proc) {
+			if nd != n0 {
+				return
+			}
+			nd.NIC.SendDU(p, src, proxy, 4096, false, true)
+			nd.NIC.SendDU(p, src, proxy, 4096, false, true)
+			second = p.Now()
+			p.Sleep(time1ms)
+		})
+		return second
+	}
+	d1 := initiation(1)
+	d2 := initiation(2)
+	if d2 >= d1 {
+		t.Fatalf("depth-2 initiation %v not faster than depth-1 %v", d2, d1)
+	}
+}
+
+func TestSyscallKnobChargesOverhead(t *testing.T) {
+	m, _, _, _ := pair(t, func(c *Config) { c.SyscallPerSend = true })
+	if !m.Cfg.SyscallPerSend {
+		t.Fatal("knob not set")
+	}
+	// The charging itself happens in the VMMC layer; here we only check
+	// the CPU plumbing used for it.
+	n0 := m.Nodes[0]
+	m.RunParallel("charge", func(nd *Node, p *sim.Proc) {
+		if nd != n0 {
+			return
+		}
+		nd.CPU.ChargeOverhead(m.Cfg.Cost.SyscallCost)
+		nd.CPU.Flush(p)
+	})
+	if n0.Acct.Breakdown[stats.Overhead] != m.Cfg.Cost.SyscallCost {
+		t.Fatalf("overhead = %v", n0.Acct.Breakdown[stats.Overhead])
+	}
+}
+
+func TestCPUWaitAccounting(t *testing.T) {
+	m := New(DefaultConfig(1))
+	defer m.Close()
+	nd := m.Nodes[0]
+	m.RunParallel("acct", func(n *Node, p *sim.Proc) {
+		n.CPU.Charge(10 * sim.Microsecond)
+		since := n.CPU.BeginWait(p)
+		p.Sleep(5 * sim.Microsecond)
+		n.CPU.EndWait(p, stats.Lock, since)
+	})
+	b := nd.Acct.Breakdown
+	if b[stats.Compute] != 10*sim.Microsecond || b[stats.Lock] != 5*sim.Microsecond {
+		t.Fatalf("breakdown %+v", b)
+	}
+}
+
+func TestStealChargedAtNextFlush(t *testing.T) {
+	m := New(DefaultConfig(1))
+	defer m.Close()
+	nd := m.Nodes[0]
+	elapsed := m.RunParallel("steal", func(n *Node, p *sim.Proc) {
+		n.CPU.Steal(7 * sim.Microsecond)
+		n.CPU.Charge(3 * sim.Microsecond)
+		n.CPU.Flush(p)
+	})
+	if elapsed != 10*sim.Microsecond {
+		t.Fatalf("elapsed %v, want 10us", elapsed)
+	}
+	if nd.Acct.Breakdown[stats.Overhead] != 7*sim.Microsecond {
+		t.Fatalf("overhead %v", nd.Acct.Breakdown[stats.Overhead])
+	}
+}
+
+func TestStealDuringWaitOverlaps(t *testing.T) {
+	m := New(DefaultConfig(1))
+	defer m.Close()
+	elapsed := m.RunParallel("steal", func(n *Node, p *sim.Proc) {
+		since := n.CPU.BeginWait(p)
+		n.CPU.Steal(50 * sim.Microsecond) // handler during wait: overlapped
+		p.Sleep(5 * sim.Microsecond)
+		n.CPU.EndWait(p, stats.Comm, since)
+		n.CPU.Flush(p)
+	})
+	if elapsed != 5*sim.Microsecond {
+		t.Fatalf("elapsed %v, want 5us", elapsed)
+	}
+}
+
+func TestMeshSizing(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 9, 15, 16} {
+		cfg := DefaultConfig(n)
+		if cfg.Mesh.Width*cfg.Mesh.Height < n {
+			t.Errorf("mesh %dx%d too small for %d nodes", cfg.Mesh.Width, cfg.Mesh.Height, n)
+		}
+		m := New(cfg)
+		if len(m.Nodes) != n {
+			t.Errorf("built %d nodes, want %d", len(m.Nodes), n)
+		}
+		m.Close()
+	}
+}

@@ -1,0 +1,191 @@
+package memory
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"shrimp/internal/sim"
+)
+
+func TestAllocAndRoundTrip(t *testing.T) {
+	as := NewAddressSpace()
+	base := as.Alloc(2)
+	if base.Offset() != 0 {
+		t.Fatalf("Alloc base %#x not page aligned", base)
+	}
+	data := []byte("hello shrimp")
+	as.Write(nil, base+100, data)
+	got := make([]byte, len(data))
+	as.Read(nil, base+100, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip got %q", got)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	as := NewAddressSpace()
+	base := as.Alloc(2)
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	addr := base + Addr(PageSize-50)
+	as.Write(nil, addr, data)
+	got := make([]byte, 100)
+	as.Read(nil, addr, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page round trip mismatch")
+	}
+}
+
+func TestUint32CrossPage(t *testing.T) {
+	as := NewAddressSpace()
+	base := as.Alloc(2)
+	addr := base + Addr(PageSize-2)
+	as.WriteUint32(nil, addr, 0xdeadbeef)
+	if got := as.ReadUint32(nil, addr); got != 0xdeadbeef {
+		t.Fatalf("got %#x", got)
+	}
+}
+
+func TestUnmappedPanics(t *testing.T) {
+	as := NewAddressSpace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unmapped access")
+		}
+	}()
+	as.Read(nil, 0, make([]byte, 4))
+}
+
+func TestSnoopFiresOnCPUWritesOnly(t *testing.T) {
+	as := NewAddressSpace()
+	base := as.Alloc(1)
+	var snooped []Addr
+	as.Snoop = func(a Addr, size int) { snooped = append(snooped, a) }
+	as.WriteUint32(nil, base, 7)
+	as.Write(nil, base+8, []byte{1, 2})
+	as.DMAWrite(base+16, []byte{3, 4})
+	if len(snooped) != 2 || snooped[0] != base || snooped[1] != base+8 {
+		t.Fatalf("snooped %v", snooped)
+	}
+}
+
+func TestProtectionFaultHandlerUpgrades(t *testing.T) {
+	e := sim.NewEngine()
+	as := NewAddressSpace()
+	base := as.Alloc(1)
+	as.WriteUint32(nil, base, 41)
+	as.SetProt(base.VPN(), ProtNone)
+	faults := 0
+	as.Fault = func(p *sim.Proc, vpn int, write bool) {
+		faults++
+		p.Sleep(10 * sim.Microsecond) // fault service time
+		as.SetProt(vpn, ProtReadWrite)
+	}
+	var got uint32
+	e.Spawn("app", func(p *sim.Proc) {
+		got = as.ReadUint32(p, base)
+		as.WriteUint32(p, base, got+1)
+	})
+	e.Run()
+	if got != 41 || faults != 1 {
+		t.Fatalf("got %d after %d faults", got, faults)
+	}
+	if v := as.ReadUint32(nil, base); v != 42 {
+		t.Fatalf("final value %d", v)
+	}
+}
+
+func TestWriteFaultOnReadOnlyPage(t *testing.T) {
+	e := sim.NewEngine()
+	as := NewAddressSpace()
+	base := as.Alloc(1)
+	as.SetProt(base.VPN(), ProtRead)
+	writeFaults := 0
+	as.Fault = func(p *sim.Proc, vpn int, write bool) {
+		if write {
+			writeFaults++
+		}
+		as.SetProt(vpn, ProtReadWrite)
+	}
+	e.Spawn("app", func(p *sim.Proc) {
+		_ = as.ReadUint32(p, base) // allowed, no fault
+		as.WriteUint32(p, base, 1) // faults
+	})
+	e.Run()
+	if writeFaults != 1 {
+		t.Fatalf("write faults = %d, want 1", writeFaults)
+	}
+}
+
+func TestUnhandledFaultPanics(t *testing.T) {
+	as := NewAddressSpace()
+	base := as.Alloc(1)
+	as.SetProt(base.VPN(), ProtNone)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on unhandled fault")
+		}
+	}()
+	as.ReadUint32(nil, base)
+}
+
+func TestDMABypassesProtection(t *testing.T) {
+	as := NewAddressSpace()
+	base := as.Alloc(1)
+	as.SetProt(base.VPN(), ProtNone)
+	as.DMAWrite(base, []byte{9})
+	buf := make([]byte, 1)
+	as.DMARead(base, buf)
+	if buf[0] != 9 {
+		t.Fatal("DMA round trip failed")
+	}
+}
+
+// Property: any sequence of non-overlapping writes reads back intact.
+func TestReadWriteProperty(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		as := NewAddressSpace()
+		total := 0
+		for _, c := range chunks {
+			total += len(c)
+		}
+		if total == 0 {
+			return true
+		}
+		base := as.AllocBytes(total)
+		addr := base
+		for _, c := range chunks {
+			as.Write(nil, addr, c)
+			addr += Addr(len(c))
+		}
+		addr = base
+		for _, c := range chunks {
+			got := make([]byte, len(c))
+			as.Read(nil, addr, got)
+			if !bytes.Equal(got, c) {
+				return false
+			}
+			addr += Addr(len(c))
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: VPN/Offset/PageBase are consistent decompositions.
+func TestAddrDecompositionProperty(t *testing.T) {
+	f := func(a uint32) bool {
+		addr := Addr(a)
+		return Addr(addr.VPN()*PageSize)+Addr(addr.Offset()) == addr &&
+			addr.PageBase().Offset() == 0 &&
+			addr.PageBase().VPN() == addr.VPN()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package mesh models the SHRIMP routing backplane: a two-dimensional
+// mesh with oblivious X-Y (dimension-order) wormhole routing, as used by
+// the Intel Paragon. The model is packet-level with cut-through timing:
+// a packet reserves each directed link along its path for its
+// serialization time, and the head advances one router delay per hop, so
+// both latency and link contention are represented.
+package mesh
+
+import (
+	"fmt"
+
+	"shrimp/internal/sim"
+)
+
+// NodeID identifies a node attached to the mesh, in row-major order.
+type NodeID int
+
+// Packet is one network packet. The payload is opaque to the mesh.
+type Packet struct {
+	Src, Dst NodeID
+	Size     int // bytes on the wire, including header
+	Payload  any
+}
+
+// Config describes the mesh geometry and timing.
+type Config struct {
+	Width, Height int
+	// LinkBandwidth is in bytes per second (the Paragon backplane link
+	// peak is 200 MB/s).
+	LinkBandwidth float64
+	// RouterDelay is the per-hop latency of the packet head.
+	RouterDelay sim.Time
+	// InjectDelay is the cost of moving a packet from the network
+	// interface through the transceiver onto the backplane (and
+	// symmetrically off it at the destination).
+	InjectDelay sim.Time
+}
+
+// DefaultConfig matches the 16-node SHRIMP system: a 4x4 mesh with
+// 200 MB/s links and Paragon iMRC-class router delays.
+func DefaultConfig() Config {
+	return Config{
+		Width:         4,
+		Height:        4,
+		LinkBandwidth: 200e6,
+		RouterDelay:   40 * sim.Nanosecond,
+		InjectDelay:   100 * sim.Nanosecond,
+	}
+}
+
+// Sink receives packets delivered to a node. It runs in engine context
+// at the delivery instant; implementations must not block.
+type Sink func(pkt *Packet)
+
+// direction indexes the four outgoing links of a router.
+type direction int
+
+const (
+	east direction = iota
+	west
+	north
+	south
+	ndirections
+)
+
+// link is a directed channel between adjacent routers with its own
+// occupancy horizon, used to model wormhole contention.
+type link struct {
+	freeAt sim.Time
+	// busy accumulates total occupied time for utilization statistics.
+	busy sim.Time
+}
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	Packets   int64
+	Bytes     int64
+	HopsTotal int64
+}
+
+// Network is the mesh fabric connecting all nodes.
+type Network struct {
+	e     *sim.Engine
+	cfg   Config
+	links []link // [router*ndirections + dir]
+	sinks []Sink
+	stats Stats
+}
+
+// New constructs a mesh network on engine e.
+func New(e *sim.Engine, cfg Config) *Network {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		panic("mesh: non-positive dimensions")
+	}
+	n := cfg.Width * cfg.Height
+	return &Network{
+		e:     e,
+		cfg:   cfg,
+		links: make([]link, n*int(ndirections)),
+		sinks: make([]Sink, n),
+	}
+}
+
+// Nodes reports the number of attached node slots.
+func (n *Network) Nodes() int { return n.cfg.Width * n.cfg.Height }
+
+// Stats returns a copy of the aggregate counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Attach registers the delivery sink for a node.
+func (n *Network) Attach(id NodeID, s Sink) {
+	if int(id) < 0 || int(id) >= len(n.sinks) {
+		panic(fmt.Sprintf("mesh: attach to invalid node %d", id))
+	}
+	n.sinks[id] = s
+}
+
+func (n *Network) coords(id NodeID) (x, y int) {
+	return int(id) % n.cfg.Width, int(id) / n.cfg.Width
+}
+
+func (n *Network) linkAt(x, y int, d direction) *link {
+	r := y*n.cfg.Width + x
+	return &n.links[r*int(ndirections)+int(d)]
+}
+
+// serialization returns the time a packet of size bytes occupies a link.
+func (n *Network) serialization(size int) sim.Time {
+	return sim.Time(float64(size) / n.cfg.LinkBandwidth * 1e9)
+}
+
+// path returns the sequence of directed links a packet takes under X-Y
+// dimension-order routing from src to dst.
+func (n *Network) path(src, dst NodeID) []*link {
+	sx, sy := n.coords(src)
+	dx, dy := n.coords(dst)
+	var links []*link
+	x, y := sx, sy
+	for x != dx {
+		if dx > x {
+			links = append(links, n.linkAt(x, y, east))
+			x++
+		} else {
+			links = append(links, n.linkAt(x, y, west))
+			x--
+		}
+	}
+	for y != dy {
+		if dy > y {
+			links = append(links, n.linkAt(x, y, south))
+			y++
+		} else {
+			links = append(links, n.linkAt(x, y, north))
+			y--
+		}
+	}
+	return links
+}
+
+// Hops returns the number of router-to-router hops between two nodes.
+func (n *Network) Hops(src, dst NodeID) int {
+	sx, sy := n.coords(src)
+	dx, dy := n.coords(dst)
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Send injects a packet at the current instant and schedules its
+// delivery at the destination sink. It returns the delivery time.
+// Send may be called from engine or process context.
+func (n *Network) Send(pkt *Packet) sim.Time {
+	if n.sinks[pkt.Dst] == nil {
+		panic(fmt.Sprintf("mesh: send to unattached node %d", pkt.Dst))
+	}
+	now := n.e.Now()
+	n.stats.Packets++
+	n.stats.Bytes += int64(pkt.Size)
+
+	occ := n.serialization(pkt.Size)
+	// Injection through the transceiver onto the backplane.
+	head := now + n.cfg.InjectDelay
+	if pkt.Src == pkt.Dst {
+		// Loopback through the NIC without touching the backplane.
+		t := head + occ
+		n.e.At(t, func() { n.sinks[pkt.Dst](pkt) })
+		return t
+	}
+	links := n.path(pkt.Src, pkt.Dst)
+	n.stats.HopsTotal += int64(len(links))
+	for _, l := range links {
+		start := head
+		if l.freeAt > start {
+			// Wormhole blocking: the head stalls until the link frees.
+			start = l.freeAt
+		}
+		l.freeAt = start + occ
+		l.busy += occ
+		head = start + n.cfg.RouterDelay
+	}
+	// Ejection at the destination: the tail arrives one serialization
+	// time after the head clears the last router.
+	t := head + n.cfg.InjectDelay + occ
+	n.e.At(t, func() { n.sinks[pkt.Dst](pkt) })
+	return t
+}

@@ -1,0 +1,176 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shrimp/internal/sim"
+)
+
+func testNet(e *sim.Engine) *Network {
+	n := New(e, DefaultConfig())
+	for i := 0; i < n.Nodes(); i++ {
+		n.Attach(NodeID(i), func(*Packet) {})
+	}
+	return n
+}
+
+func TestHops(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e)
+	cases := []struct {
+		src, dst NodeID
+		want     int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 4, 1},
+		{0, 5, 2},
+		{0, 15, 6},
+		{3, 12, 6},
+		{5, 10, 2},
+	}
+	for _, c := range cases {
+		if got := n.Hops(c.src, c.dst); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestDeliveryAndLatency(t *testing.T) {
+	e := sim.NewEngine()
+	n := New(e, DefaultConfig())
+	var delivered *Packet
+	var at sim.Time
+	for i := 0; i < n.Nodes(); i++ {
+		i := i
+		n.Attach(NodeID(i), func(p *Packet) {
+			if NodeID(i) != p.Dst {
+				t.Errorf("packet for %d delivered to %d", p.Dst, i)
+			}
+			delivered = p
+			at = e.Now()
+		})
+	}
+	pkt := &Packet{Src: 0, Dst: 15, Size: 64}
+	want := n.Send(pkt)
+	e.Run()
+	if delivered != pkt {
+		t.Fatal("packet not delivered")
+	}
+	if at != want {
+		t.Fatalf("delivered at %v, Send predicted %v", at, want)
+	}
+	// Sanity: 6 hops of 40ns + 2x100ns inject + serialization of 64B at
+	// 200MB/s (~320ns) lands near 880ns.
+	if at < 500*sim.Nanosecond || at > 2*sim.Microsecond {
+		t.Fatalf("unexpected 6-hop latency %v", at)
+	}
+}
+
+func TestMoreHopsHigherLatency(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e)
+	near := n.Send(&Packet{Src: 0, Dst: 1, Size: 128})
+	far := n.Send(&Packet{Src: 0, Dst: 15, Size: 128})
+	if far <= near {
+		t.Fatalf("6-hop delivery %v not after 1-hop %v", far, near)
+	}
+	e.Run()
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e)
+	// Two large packets over the same link must not overlap in time.
+	size := 4096
+	first := n.Send(&Packet{Src: 0, Dst: 1, Size: size})
+	second := n.Send(&Packet{Src: 0, Dst: 1, Size: size})
+	ser := n.serialization(size)
+	if second-first < ser {
+		t.Fatalf("second delivery %v only %v after first; want >= %v gap", second, second-first, ser)
+	}
+	e.Run()
+}
+
+func TestDisjointPathsNoInterference(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e)
+	a := n.Send(&Packet{Src: 0, Dst: 1, Size: 4096})
+	b := n.Send(&Packet{Src: 14, Dst: 15, Size: 4096})
+	if a != b {
+		t.Fatalf("disjoint same-size sends got different latencies: %v vs %v", a, b)
+	}
+	e.Run()
+}
+
+func TestLoopback(t *testing.T) {
+	e := sim.NewEngine()
+	n := testNet(e)
+	local := n.Send(&Packet{Src: 3, Dst: 3, Size: 64})
+	remote := n.Send(&Packet{Src: 3, Dst: 2, Size: 64})
+	if local >= remote {
+		t.Fatalf("loopback %v not faster than 1-hop %v", local, remote)
+	}
+	e.Run()
+	if got := n.Stats().Packets; got != 2 {
+		t.Fatalf("stats packets = %d, want 2", got)
+	}
+}
+
+func TestSameFlowFIFOProperty(t *testing.T) {
+	// Property: packets on the same src->dst flow are delivered in send
+	// order no matter the size mix.
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		e := sim.NewEngine()
+		n := New(e, DefaultConfig())
+		var got []int
+		for i := 0; i < n.Nodes(); i++ {
+			n.Attach(NodeID(i), func(p *Packet) { got = append(got, p.Payload.(int)) })
+		}
+		for i, s := range sizes {
+			n.Send(&Packet{Src: 2, Dst: 13, Size: int(s)%4096 + 1, Payload: i})
+		}
+		e.Run()
+		if len(got) != len(sizes) {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXYRoutingDeadlockFreeManyToOne(t *testing.T) {
+	// Many-to-one traffic must all arrive (the scenario §4.5.2 cites as
+	// the main cause of outgoing FIFO backpressure).
+	e := sim.NewEngine()
+	n := New(e, DefaultConfig())
+	arrived := 0
+	for i := 0; i < n.Nodes(); i++ {
+		n.Attach(NodeID(i), func(p *Packet) { arrived++ })
+	}
+	sent := 0
+	for i := 1; i < n.Nodes(); i++ {
+		for k := 0; k < 10; k++ {
+			n.Send(&Packet{Src: NodeID(i), Dst: 0, Size: 1024})
+			sent++
+		}
+	}
+	e.Run()
+	if arrived != sent {
+		t.Fatalf("arrived %d of %d", arrived, sent)
+	}
+}

@@ -1,0 +1,69 @@
+package nic
+
+import (
+	"shrimp/internal/memory"
+	"shrimp/internal/sim"
+)
+
+// rxEngine is the incoming DMA engine: it accepts packets off the
+// backplane, validates them against the Incoming Page Table, writes the
+// payload to host memory over the memory bus, and raises interrupts per
+// the notification rules of §2.2/§4.4.
+func (n *NIC) rxEngine(p *sim.Proc) {
+	for {
+		mp := n.rxQueue.Pop(p)
+		pkt := mp.Payload.(*Packet)
+
+		// The NIC port is busy while a packet is being received, which
+		// blocks outgoing-FIFO draining (incoming has priority in the
+		// hardware; here they serialize through the same port).
+		n.nicPort.Acquire(p)
+		p.Sleep(n.cfg.RxSetup)
+
+		ipt, ok := n.ipt[pkt.DstPage]
+		if !ok || !ipt.Valid {
+			// Page not exported: hardware drops the packet and counts
+			// the error.
+			n.dropped++
+			n.nicPort.Release()
+			continue
+		}
+
+		// DMA the payload into host memory; the memory bus cannot
+		// cycle-share, so this arbitrates with the CPU and the DU engine.
+		if len(pkt.Data) > 0 {
+			addr := memory.Addr(pkt.DstPage*memory.PageSize + pkt.DstOffset)
+			n.bus.Acquire(p)
+			p.Sleep(n.eisaTime(len(pkt.Data)))
+			n.mem.DMAWrite(addr, pkt.Data)
+			n.bus.Release()
+		}
+		n.nicPort.Release()
+
+		// AU packets with the sender's interrupt-request bit mark
+		// message boundaries on automatic-update streams.
+		auBoundary := pkt.Kind == AU && pkt.Interrupt
+		if pkt.EndOfMsg {
+			n.acct.Counters.MessagesRecv++
+		}
+		// §4.4 what-ifs: a null kernel handler runs before the
+		// application can observe the data, delaying delivery and
+		// occupying the CPU — per message boundary, or per packet in
+		// the even costlier traditional design.
+		if n.cfg.InterruptPerPacket ||
+			(n.cfg.InterruptPerMessage && (pkt.EndOfMsg || auBoundary)) {
+			if n.RaiseInterrupt != nil {
+				n.RaiseInterrupt(IntPerMessage, pkt)
+			}
+			p.Sleep(n.cfg.InterruptStall)
+		}
+		// Notification rule: sender's interrupt-request bit AND the
+		// receiver's per-page interrupt-enable bit.
+		if pkt.Interrupt && ipt.InterruptEnable && n.RaiseInterrupt != nil {
+			n.RaiseInterrupt(IntNotification, pkt)
+		}
+		if n.OnDeliver != nil {
+			n.OnDeliver(pkt)
+		}
+	}
+}

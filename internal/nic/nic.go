@@ -1,0 +1,243 @@
+package nic
+
+import (
+	"fmt"
+
+	"shrimp/internal/memory"
+	"shrimp/internal/mesh"
+	"shrimp/internal/sim"
+	"shrimp/internal/stats"
+)
+
+// Kind distinguishes the two transfer mechanisms on the wire.
+type Kind uint8
+
+const (
+	// AU is an automatic-update packet (snooped stores).
+	AU Kind = iota
+	// DU is a deliberate-update packet (user-level DMA transfer).
+	DU
+)
+
+func (k Kind) String() string {
+	if k == AU {
+		return "AU"
+	}
+	return "DU"
+}
+
+// InterruptKind identifies why the NIC interrupted the host CPU.
+type InterruptKind int
+
+const (
+	// IntNotification delivers a user-level notification (§2.2).
+	IntNotification InterruptKind = iota
+	// IntFlowControl signals outgoing-FIFO threshold crossing (§4.5.2).
+	IntFlowControl
+	// IntPerMessage is the forced per-arrival interrupt of the §4.4
+	// what-if experiment.
+	IntPerMessage
+)
+
+func (k InterruptKind) String() string {
+	switch k {
+	case IntNotification:
+		return "notification"
+	case IntFlowControl:
+		return "flow-control"
+	default:
+		return "per-message"
+	}
+}
+
+// Packet is the NIC-level wire format, carried opaquely by the mesh.
+type Packet struct {
+	Kind      Kind
+	Src       mesh.NodeID
+	DstPage   int // receiver physical page number
+	DstOffset int
+	Data      []byte
+	Interrupt bool // sender's interrupt-request bit
+	EndOfMsg  bool // last packet of a VMMC-level message
+}
+
+// OPTEntry is one Outgoing Page Table entry: the mapping from a local
+// page (a proxy page for DU, or an AU-bound memory page) to a remote
+// physical page.
+type OPTEntry struct {
+	Valid     bool
+	DstNode   mesh.NodeID
+	DstPage   int
+	AUEnable  bool
+	Combine   bool
+	Interrupt bool // interrupt-request bit attached to AU packets
+}
+
+// IPTEntry is one Incoming Page Table entry.
+type IPTEntry struct {
+	Valid           bool
+	InterruptEnable bool
+}
+
+// duRequest is a queued deliberate-update transfer.
+type duRequest struct {
+	src       memory.Addr
+	dstNode   mesh.NodeID
+	dstPage   int
+	dstOffset int
+	size      int
+	interrupt bool
+	endOfMsg  bool
+}
+
+// combineState is the AU combining buffer (§4.5.1).
+type combineState struct {
+	active bool
+	ent    *OPTEntry
+	page   int // local VPN being combined (for diagnostics)
+	start  int // dst offset of first byte
+	buf    []byte
+	timer  *sim.Timer
+}
+
+// NIC is the network interface of one node.
+type NIC struct {
+	e    *sim.Engine
+	id   mesh.NodeID
+	net  *mesh.Network
+	mem  *memory.AddressSpace
+	bus  *sim.Resource
+	acct *stats.Node
+	cfg  Config
+
+	opt map[int]*OPTEntry
+	ipt map[int]*IPTEntry
+
+	// Outgoing side.
+	duQueue   *sim.Queue[*duRequest]
+	duSlots   int
+	duCond    *sim.Cond
+	fifo      *sim.Queue[fifoEntry]
+	fifoBytes int
+	fifoHigh  int // high-water mark observed
+	stalled   bool
+	fifoCond  *sim.Cond
+	outAU     int // AU packets emitted but not yet injected
+	fenceCond *sim.Cond
+	combine   combineState
+
+	// nicPort models the single port of the network interface chip:
+	// incoming packets and outgoing injections contend for it, which is
+	// why the outgoing FIFO cannot drain while a packet is arriving.
+	nicPort *sim.Resource
+
+	// Incoming side.
+	rxQueue *sim.Queue[*mesh.Packet]
+	dropped int64
+
+	// RaiseInterrupt is invoked (non-blocking, any context) when the NIC
+	// interrupts the host CPU. Set by the machine layer.
+	RaiseInterrupt func(kind InterruptKind, pkt *Packet)
+	// OnDeliver is invoked in receive-engine context after a packet's
+	// payload has been written to host memory. Set by the VMMC layer.
+	// It must not block.
+	OnDeliver func(pkt *Packet)
+}
+
+// New constructs a NIC for node id, attached to net and backed by the
+// node's memory and memory bus. Call Start before simulating.
+func New(e *sim.Engine, id mesh.NodeID, net *mesh.Network, mem *memory.AddressSpace, bus *sim.Resource, acct *stats.Node, cfg Config) *NIC {
+	if cfg.DUQueueDepth < 1 {
+		panic("nic: DUQueueDepth must be >= 1")
+	}
+	n := &NIC{
+		e:         e,
+		id:        id,
+		net:       net,
+		mem:       mem,
+		bus:       bus,
+		acct:      acct,
+		cfg:       cfg,
+		opt:       make(map[int]*OPTEntry),
+		ipt:       make(map[int]*IPTEntry),
+		duQueue:   sim.NewQueue[*duRequest](e),
+		duCond:    sim.NewCond(e),
+		fifo:      sim.NewQueue[fifoEntry](e),
+		fifoCond:  sim.NewCond(e),
+		fenceCond: sim.NewCond(e),
+		nicPort:   sim.NewResource(e),
+		rxQueue:   sim.NewQueue[*mesh.Packet](e),
+	}
+	net.Attach(id, func(mp *mesh.Packet) { n.rxQueue.Push(mp) })
+	return n
+}
+
+// ID returns the node this NIC belongs to.
+func (n *NIC) ID() mesh.NodeID { return n.id }
+
+// Config returns the NIC configuration.
+func (n *NIC) Config() Config { return n.cfg }
+
+// FIFOHighWater reports the maximum outgoing FIFO occupancy observed.
+func (n *NIC) FIFOHighWater() int { return n.fifoHigh }
+
+// Dropped reports packets dropped for invalid IPT entries.
+func (n *NIC) Dropped() int64 { return n.dropped }
+
+// Start spawns the NIC's engines: the deliberate-update DMA engine, the
+// outgoing-FIFO drain, and the incoming DMA engine. They run for the
+// lifetime of the simulation.
+func (n *NIC) Start() {
+	n.e.Spawn(fmt.Sprintf("nic%d.du", n.id), n.duEngine)
+	n.e.Spawn(fmt.Sprintf("nic%d.out", n.id), n.outEngine)
+	n.e.Spawn(fmt.Sprintf("nic%d.rx", n.id), n.rxEngine)
+}
+
+// MapOutgoing installs an OPT entry for local page vpn.
+func (n *NIC) MapOutgoing(vpn int, dst mesh.NodeID, dstPage int, au, combine, interrupt bool) {
+	n.opt[vpn] = &OPTEntry{
+		Valid:     true,
+		DstNode:   dst,
+		DstPage:   dstPage,
+		AUEnable:  au,
+		Combine:   combine,
+		Interrupt: interrupt,
+	}
+}
+
+// UnmapOutgoing removes the OPT entry for vpn.
+func (n *NIC) UnmapOutgoing(vpn int) { delete(n.opt, vpn) }
+
+// Outgoing looks up the OPT entry for vpn.
+func (n *NIC) Outgoing(vpn int) (*OPTEntry, bool) {
+	ent, ok := n.opt[vpn]
+	return ent, ok
+}
+
+// SetIncoming installs an IPT entry for local page vpn (exported page).
+func (n *NIC) SetIncoming(vpn int, interruptEnable bool) {
+	n.ipt[vpn] = &IPTEntry{Valid: true, InterruptEnable: interruptEnable}
+}
+
+// SetIncomingInterrupt toggles the receiver-side interrupt-enable bit.
+func (n *NIC) SetIncomingInterrupt(vpn int, enable bool) {
+	if e, ok := n.ipt[vpn]; ok {
+		e.InterruptEnable = enable
+	}
+}
+
+// ClearIncoming removes the IPT entry for vpn.
+func (n *NIC) ClearIncoming(vpn int) { delete(n.ipt, vpn) }
+
+// wireSize is the on-the-wire size of a packet with payload n bytes.
+func (n *NIC) wireSize(payload int) int { return payload + n.cfg.HeaderBytes }
+
+// linkTime is the serialization time of b bytes at link bandwidth.
+func (n *NIC) linkTime(b int) sim.Time {
+	return sim.Time(float64(b) / n.cfg.LinkBandwidth * 1e9)
+}
+
+// eisaTime is the host-memory DMA time for b bytes over the I/O bus.
+func (n *NIC) eisaTime(b int) sim.Time {
+	return sim.Time(float64(b) / n.cfg.EISABandwidth * 1e9)
+}

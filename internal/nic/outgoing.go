@@ -1,0 +1,265 @@
+package nic
+
+import (
+	"fmt"
+
+	"shrimp/internal/memory"
+	"shrimp/internal/mesh"
+	"shrimp/internal/sim"
+)
+
+// SendDU initiates a deliberate-update transfer via the user-level DMA
+// mechanism: size bytes starting at local address src are sent to the
+// remote page mapped by the proxy address. Neither side of the transfer
+// may cross a page boundary (the protection scheme's fundamental
+// restriction, §4.5.3); higher layers split large transfers.
+//
+// The call blocks only while the NIC's transfer-request queue is full
+// (depth Config.DUQueueDepth); it returns as soon as the request is
+// accepted, making sends asynchronous. The caller is responsible for
+// charging the CPU-side initiation overhead.
+func (n *NIC) SendDU(p *sim.Proc, src, proxy memory.Addr, size int, interrupt, endOfMsg bool) {
+	if size <= 0 || size > n.cfg.MaxTransfer {
+		panic(fmt.Sprintf("nic: DU transfer size %d out of range", size))
+	}
+	if src.Offset()+size > memory.PageSize {
+		panic(fmt.Sprintf("nic: DU source %#x+%d crosses a page boundary", src, size))
+	}
+	if proxy.Offset()+size > memory.PageSize {
+		panic(fmt.Sprintf("nic: DU destination %#x+%d crosses a page boundary", proxy, size))
+	}
+	ent, ok := n.opt[proxy.VPN()]
+	if !ok || !ent.Valid {
+		panic(fmt.Sprintf("nic: DU through unmapped proxy page %d", proxy.VPN()))
+	}
+	for n.duSlots >= n.cfg.DUQueueDepth {
+		n.duCond.Wait(p)
+	}
+	n.duSlots++
+	n.duQueue.Push(&duRequest{
+		src:       src,
+		dstNode:   ent.DstNode,
+		dstPage:   ent.DstPage,
+		dstOffset: proxy.Offset(),
+		size:      size,
+		interrupt: interrupt,
+		endOfMsg:  endOfMsg,
+	})
+	n.acct.Counters.DUTransfers++
+	if endOfMsg {
+		n.acct.Counters.MessagesSent++
+	}
+	n.acct.Counters.BytesSent += int64(size)
+}
+
+// DUIdle reports whether no deliberate-update transfers are queued or in
+// flight in the DMA engine.
+func (n *NIC) DUIdle() bool { return n.duSlots == 0 }
+
+// WaitDUIdle blocks until the DU engine has drained all requests.
+func (n *NIC) WaitDUIdle(p *sim.Proc) {
+	for n.duSlots > 0 {
+		n.duCond.Wait(p)
+	}
+}
+
+// duEngine is the deliberate-update DMA engine: it pops transfer
+// requests, arbitrates for the memory bus (which cannot cycle-share with
+// the CPU), reads the payload over the EISA bus, and injects a packet.
+func (n *NIC) duEngine(p *sim.Proc) {
+	for {
+		req := n.duQueue.Pop(p)
+		p.Sleep(n.cfg.DMASetup)
+		data := make([]byte, req.size)
+		n.bus.Acquire(p)
+		p.Sleep(n.eisaTime(req.size))
+		n.mem.DMARead(req.src, data)
+		n.bus.Release()
+		// The request slot frees once the data has left host memory.
+		n.duSlots--
+		n.duCond.Broadcast()
+		n.inject(p, &Packet{
+			Kind:      DU,
+			Src:       n.id,
+			DstPage:   req.dstPage,
+			DstOffset: req.dstOffset,
+			Data:      data,
+			Interrupt: req.interrupt,
+			EndOfMsg:  req.endOfMsg,
+		}, req.dstNode)
+	}
+}
+
+// inject serializes a packet onto the backplane through the NIC port.
+func (n *NIC) inject(p *sim.Proc, pkt *Packet, dst mesh.NodeID) {
+	wire := n.wireSize(len(pkt.Data))
+	n.nicPort.Acquire(p)
+	p.Sleep(n.linkTime(wire))
+	n.net.Send(&mesh.Packet{Src: n.id, Dst: dst, Size: wire, Payload: pkt})
+	n.nicPort.Release()
+}
+
+// Snoop observes a CPU store to local memory (wired to the address
+// space's snoop hook by the machine layer). It runs synchronously at the
+// store instant and never blocks: flow-control stalls are enforced
+// before the store by WaitAUReady.
+func (n *NIC) Snoop(addr memory.Addr, size int) {
+	if !n.cfg.AutomaticUpdate {
+		return
+	}
+	ent, ok := n.opt[addr.VPN()]
+	if !ok || !ent.AUEnable {
+		return // snooped, but not AU-bound: ignored
+	}
+	// The snoop hardware sees individual bus transactions: a contiguous
+	// run of bytes arrives as a sequence of word-sized stores.
+	vpn := addr.VPN()
+	off := addr.Offset()
+	for size > 0 {
+		w := n.cfg.AUWordBytes
+		if w > size {
+			w = size
+		}
+		n.acct.Counters.AUStores++
+		data := make([]byte, w)
+		copy(data, n.mem.PageData(vpn)[off:off+w])
+		n.auStore(ent, off, data)
+		off += w
+		size -= w
+	}
+}
+
+// auStore handles one snooped word-sized store to an AU-bound page.
+func (n *NIC) auStore(ent *OPTEntry, off int, data []byte) {
+	if !n.cfg.Combining || !ent.Combine {
+		// A non-combinable store must not overtake earlier combined
+		// stores: the snoop path preserves program order.
+		n.flushCombine()
+		n.emitAU(ent, off, data)
+		return
+	}
+	c := &n.combine
+	if c.active && c.ent == ent && c.start+len(c.buf) == off && len(c.buf)+len(data) <= n.cfg.CombineLimit {
+		// Consecutive store: accumulate.
+		c.buf = append(c.buf, data...)
+		c.timer.Cancel()
+		c.timer = n.e.NewTimer(n.cfg.CombineTimeout, n.flushCombine)
+		return
+	}
+	n.flushCombine()
+	c.active = true
+	c.ent = ent
+	c.start = off
+	c.buf = append(c.buf[:0], data...)
+	c.timer = n.e.NewTimer(n.cfg.CombineTimeout, n.flushCombine)
+}
+
+// flushCombine emits the pending combined AU packet, if any.
+func (n *NIC) flushCombine() {
+	c := &n.combine
+	if !c.active {
+		return
+	}
+	if c.timer != nil {
+		c.timer.Cancel()
+		c.timer = nil
+	}
+	data := make([]byte, len(c.buf))
+	copy(data, c.buf)
+	ent, start := c.ent, c.start
+	c.active = false
+	c.ent = nil
+	c.buf = c.buf[:0]
+	n.emitAU(ent, start, data)
+}
+
+// emitAU creates an automatic-update packet. The packet reaches the
+// outgoing FIFO after the snoop path's board-crossing latency
+// (memory-bus board to EISA-bus board to OPT lookup to packetizer).
+func (n *NIC) emitAU(ent *OPTEntry, off int, data []byte) {
+	pkt := &Packet{
+		Kind:      AU,
+		Src:       n.id,
+		DstPage:   ent.DstPage,
+		DstOffset: off,
+		Data:      data,
+		Interrupt: ent.Interrupt,
+		EndOfMsg:  false,
+	}
+	n.outAU++
+	n.acct.Counters.AUPackets++
+	n.acct.Counters.BytesSent += int64(len(data))
+	n.e.After(n.cfg.SnoopLatency, func() { n.fifoArrive(pkt, ent.DstNode) })
+}
+
+// fifoArrive enqueues an AU packet into the outgoing FIFO and applies
+// the threshold flow-control rule.
+func (n *NIC) fifoArrive(pkt *Packet, dst mesh.NodeID) {
+	wire := n.wireSize(len(pkt.Data))
+	n.fifoBytes += wire
+	if n.fifoBytes > n.fifoHigh {
+		n.fifoHigh = n.fifoBytes
+	}
+	n.fifoPush(pkt, dst)
+	if !n.stalled && n.fifoBytes > n.cfg.FIFOThresholdBytes {
+		n.stalled = true
+		n.acct.Counters.FlowStalls++
+		if n.RaiseInterrupt != nil {
+			n.RaiseInterrupt(IntFlowControl, pkt)
+		}
+	}
+}
+
+// fifoEntry pairs a packet with its destination for the drain engine.
+type fifoEntry struct {
+	pkt *Packet
+	dst mesh.NodeID
+}
+
+func (n *NIC) fifoPush(pkt *Packet, dst mesh.NodeID) {
+	n.fifo.Push(fifoEntry{pkt: pkt, dst: dst})
+}
+
+// AUStalled reports whether automatic-update stores are disabled by
+// outgoing-FIFO flow control.
+func (n *NIC) AUStalled() bool { return n.stalled }
+
+// WaitAUReady blocks the calling process while AU stores are disabled by
+// flow control. The machine layer calls it before every AU-bound store.
+func (n *NIC) WaitAUReady(p *sim.Proc) {
+	for n.stalled {
+		n.fifoCond.Wait(p)
+	}
+}
+
+// FenceAU flushes the combining buffer and blocks until every emitted AU
+// packet has been injected into the network. Because the mesh delivers
+// same source/destination traffic in order, a deliberate-update message
+// sent after FenceAU returns cannot overtake prior automatic updates to
+// the same node. This models the software ordering workaround for the
+// hardware's lack of a DU-after-AU ordering guarantee (§4.2).
+func (n *NIC) FenceAU(p *sim.Proc) {
+	n.flushCombine()
+	for n.outAU > 0 {
+		n.fenceCond.Wait(p)
+	}
+}
+
+// outEngine drains the outgoing FIFO into the backplane. Draining
+// contends with packet reception for the NIC port, so the FIFO cannot
+// drain while a packet is arriving — the effect §4.5.2 identifies.
+func (n *NIC) outEngine(p *sim.Proc) {
+	for {
+		e := n.fifo.Pop(p)
+		n.inject(p, e.pkt, e.dst)
+		n.fifoBytes -= n.wireSize(len(e.pkt.Data))
+		if n.stalled && n.fifoBytes <= n.cfg.FIFOLowWaterBytes {
+			n.stalled = false
+			n.fifoCond.Broadcast()
+		}
+		n.outAU--
+		if n.outAU == 0 {
+			n.fenceCond.Broadcast()
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package nx
+
+import (
+	"bytes"
+	"testing"
+
+	"shrimp/internal/machine"
+	"shrimp/internal/ring"
+	"shrimp/internal/sim"
+	"shrimp/internal/vmmc"
+)
+
+func newComm(t *testing.T, nodes int, cfg Config) *Comm {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(nodes))
+	t.Cleanup(m.Close)
+	return New(vmmc.NewSystem(m), cfg)
+}
+
+func run(c *Comm, body func(pr *Proc, p *sim.Proc)) sim.Time {
+	return c.sys.M.RunParallel("nx", func(nd *machine.Node, p *sim.Proc) {
+		body(c.Proc(int(nd.ID)), p)
+	})
+}
+
+func TestPingPong(t *testing.T) {
+	for _, mode := range []ring.Mode{ring.DU, ring.AU} {
+		c := newComm(t, 2, Config{Mode: mode, RingBytes: 64 * 1024})
+		run(c, func(pr *Proc, p *sim.Proc) {
+			switch pr.Rank() {
+			case 0:
+				pr.Send(p, 1, 7, []byte("ping"))
+				m := pr.Recv(p, 1, 8)
+				if string(m.Data) != "pong" {
+					t.Errorf("%v: got %q", mode, m.Data)
+				}
+			case 1:
+				m := pr.Recv(p, 0, 7)
+				if string(m.Data) != "ping" {
+					t.Errorf("%v: got %q", mode, m.Data)
+				}
+				pr.Send(p, 0, 8, []byte("pong"))
+			}
+		})
+	}
+}
+
+func TestTagSelectorQueuesMismatches(t *testing.T) {
+	c := newComm(t, 2, DefaultConfig())
+	run(c, func(pr *Proc, p *sim.Proc) {
+		switch pr.Rank() {
+		case 0:
+			pr.Send(p, 1, 1, []byte("first"))
+			pr.Send(p, 1, 2, []byte("second"))
+		case 1:
+			// Receive out of tag order: 2 first, then 1.
+			m2 := pr.Recv(p, 0, 2)
+			m1 := pr.Recv(p, 0, 1)
+			if string(m2.Data) != "second" || string(m1.Data) != "first" {
+				t.Errorf("got %q / %q", m2.Data, m1.Data)
+			}
+		}
+	})
+}
+
+func TestAnySourceReceivesAll(t *testing.T) {
+	const n = 4
+	c := newComm(t, n, DefaultConfig())
+	run(c, func(pr *Proc, p *sim.Proc) {
+		if pr.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 1; i < n; i++ {
+				m := pr.Recv(p, Any, 5)
+				if seen[m.Src] {
+					t.Errorf("duplicate message from %d", m.Src)
+				}
+				seen[m.Src] = true
+				if int(m.Data[0]) != m.Src {
+					t.Errorf("payload %d from src %d", m.Data[0], m.Src)
+				}
+			}
+		} else {
+			pr.Send(p, 0, 5, []byte{byte(pr.Rank())})
+		}
+	})
+}
+
+func TestPerSourceOrdering(t *testing.T) {
+	c := newComm(t, 2, DefaultConfig())
+	const k = 50
+	run(c, func(pr *Proc, p *sim.Proc) {
+		switch pr.Rank() {
+		case 0:
+			for i := 0; i < k; i++ {
+				pr.Send(p, 1, 3, []byte{byte(i)})
+			}
+		case 1:
+			for i := 0; i < k; i++ {
+				m := pr.Recv(p, 0, 3)
+				if int(m.Data[0]) != i {
+					t.Fatalf("message %d arrived out of order (got %d)", i, m.Data[0])
+				}
+			}
+		}
+	})
+}
+
+func TestLargeMessage(t *testing.T) {
+	for _, mode := range []ring.Mode{ring.DU, ring.AU} {
+		c := newComm(t, 2, Config{Mode: mode, RingBytes: 32 * 1024})
+		data := make([]byte, 200*1024) // much larger than the ring
+		for i := range data {
+			data[i] = byte(i * 13)
+		}
+		run(c, func(pr *Proc, p *sim.Proc) {
+			switch pr.Rank() {
+			case 0:
+				pr.Send(p, 1, 9, data)
+			case 1:
+				m := pr.Recv(p, 0, 9)
+				if !bytes.Equal(m.Data, data) {
+					t.Errorf("%v: large message corrupted", mode)
+				}
+			}
+		})
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	c := newComm(t, 1, DefaultConfig())
+	run(c, func(pr *Proc, p *sim.Proc) {
+		pr.Send(p, 0, 4, []byte("loop"))
+		m := pr.Recv(p, 0, 4)
+		if string(m.Data) != "loop" {
+			t.Errorf("got %q", m.Data)
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	const n = 8
+	c := newComm(t, n, DefaultConfig())
+	var minAfter, maxBefore sim.Time
+	minAfter = 1 << 62
+	run(c, func(pr *Proc, p *sim.Proc) {
+		// Stagger arrival times.
+		pr.Node().CPU.Charge(sim.Time(pr.Rank()) * 100 * sim.Microsecond)
+		pr.Node().CPU.Flush(p)
+		before := p.Now()
+		if before > maxBefore {
+			maxBefore = before
+		}
+		pr.Barrier(p)
+		after := p.Now()
+		if after < minAfter {
+			minAfter = after
+		}
+	})
+	if minAfter < maxBefore {
+		t.Fatalf("a rank left the barrier at %v before the last arrived at %v",
+			minAfter, maxBefore)
+	}
+}
+
+func TestBcastAndReduce(t *testing.T) {
+	const n = 6
+	c := newComm(t, n, DefaultConfig())
+	run(c, func(pr *Proc, p *sim.Proc) {
+		got := pr.Bcast(p, 0, 11, []byte("settings"))
+		if string(got) != "settings" {
+			t.Errorf("rank %d bcast got %q", pr.Rank(), got)
+		}
+		sum := pr.ReduceFloat64(p, 0, 12, float64(pr.Rank()+1))
+		if pr.Rank() == 0 {
+			want := float64(n * (n + 1) / 2)
+			if sum != want {
+				t.Errorf("reduce sum = %v, want %v", sum, want)
+			}
+		}
+	})
+}
+
+func TestMessageCountersBothModes(t *testing.T) {
+	for _, mode := range []ring.Mode{ring.DU, ring.AU} {
+		c := newComm(t, 2, Config{Mode: mode, RingBytes: 64 * 1024})
+		run(c, func(pr *Proc, p *sim.Proc) {
+			switch pr.Rank() {
+			case 0:
+				for i := 0; i < 10; i++ {
+					pr.Send(p, 1, 1, make([]byte, 256))
+				}
+			case 1:
+				for i := 0; i < 10; i++ {
+					pr.Recv(p, 0, 1)
+				}
+			}
+		})
+		sent := c.sys.M.Nodes[0].Acct.Counters.MessagesSent
+		if sent != 10 {
+			t.Errorf("%v: MessagesSent = %d, want 10", mode, sent)
+		}
+	}
+}

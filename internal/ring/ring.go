@@ -1,0 +1,297 @@
+// Package ring provides a one-directional, flow-controlled byte stream
+// between two nodes over VMMC — the building block both the NX
+// message-passing library and the stream-sockets library are assembled
+// from, mirroring how SHRIMP's communication libraries layered over the
+// VMMC primitives.
+//
+// The receiver exports a data ring plus a control word holding the
+// cumulative writer position; the sender publishes data (by deliberate
+// update, or by automatic update through a bound mirror) and then the
+// position word, relying on VMMC's same-flow FIFO delivery so the
+// position never overtakes its data. Credits flow back on a second,
+// tiny export owned by the sender.
+package ring
+
+import (
+	"fmt"
+
+	"shrimp/internal/memory"
+	"shrimp/internal/sim"
+	"shrimp/internal/vmmc"
+)
+
+// Mode selects the bulk-transfer mechanism (§4.2 of the paper).
+type Mode int
+
+const (
+	// DU moves data with deliberate-update user-level DMA.
+	DU Mode = iota
+	// AU moves data by storing through an automatic-update binding.
+	AU
+)
+
+func (m Mode) String() string {
+	if m == DU {
+		return "DU"
+	}
+	return "AU"
+}
+
+// Config describes one ring.
+type Config struct {
+	// Bytes is the data capacity; rounded up to whole pages.
+	Bytes int
+	// Mode selects deliberate vs automatic update for data transfer.
+	Mode Mode
+	// Combine enables AU combining on the binding (AU mode only).
+	Combine bool
+	// Notify requests a receiver notification per published message
+	// (used by request channels serviced by handlers rather than polls).
+	Notify bool
+}
+
+// Ring is a sender->receiver byte stream. Write-side methods must be
+// called from the sending node's process, read-side methods from the
+// receiving node's process.
+type Ring struct {
+	cfg  Config
+	size int
+
+	sndEP *vmmc.Endpoint
+	rcvEP *vmmc.Endpoint
+
+	// Receiver side.
+	dataExp    *vmmc.Export
+	creditImp  *vmmc.Import
+	readPos    uint64
+	uncredited int
+
+	// Sender side.
+	dataImp   *vmmc.Import
+	creditExp *vmmc.Export
+	mirror    memory.Addr // sender-local image of the ring (+ control)
+	writePos  uint64
+	credit    uint64 // last credit value read
+
+	scratch memory.Addr // receiver-side staging word for credit DMA
+}
+
+// ctlOffset is where the writer-position word lives, just past the data.
+func (r *Ring) ctlOffset() int { return r.size }
+
+// New builds a ring from sender endpoint snd to receiver endpoint rcv.
+// It may be called outside process context (setup time); the setup cost
+// is charged to both nodes' pending CPU time.
+func New(snd, rcv *vmmc.Endpoint, cfg Config) *Ring {
+	if cfg.Bytes <= 0 {
+		panic("ring: non-positive capacity")
+	}
+	pages := (cfg.Bytes + memory.PageSize - 1) / memory.PageSize
+	r := &Ring{cfg: cfg, size: pages * memory.PageSize, sndEP: snd, rcvEP: rcv}
+
+	// Receiver: data pages + 1 control page; sender imports it.
+	r.dataExp = rcv.Export(nil, pages+1)
+	r.dataImp = snd.Import(nil, r.dataExp)
+	// Sender: credit word export; receiver imports it.
+	r.creditExp = snd.Export(nil, 1)
+	r.creditImp = rcv.Import(nil, r.creditExp)
+
+	// Sender-local mirror of the ring: the gather staging area in DU
+	// mode, the AU-bound image in AU mode. The control page's binding
+	// carries the interrupt-request bit: position updates mark message
+	// boundaries, so the per-message-interrupt what-if (§4.4) sees AU
+	// streams too.
+	r.mirror = snd.Node.Mem.Alloc(pages + 1)
+	if cfg.Mode == AU {
+		r.dataImp.BindAU(nil, r.mirror, 0, pages, cfg.Combine, cfg.Notify)
+		r.dataImp.BindAU(nil, r.mirror+memory.Addr(pages*memory.PageSize),
+			pages, 1, false, true)
+	}
+	return r
+}
+
+// Size reports the ring's data capacity in bytes.
+func (r *Ring) Size() int { return r.size }
+
+// Mode reports the ring's transfer mode.
+func (r *Ring) Mode() Mode { return r.cfg.Mode }
+
+// space reports bytes the sender may write without overrunning.
+func (r *Ring) space() int { return r.size - int(r.writePos-r.credit) }
+
+// refreshCredit re-reads the credit word published by the receiver.
+func (r *Ring) refreshCredit(p *sim.Proc) {
+	nd := r.sndEP.Node
+	v := nd.Mem.ReadUint64(p, r.creditExp.Base)
+	nd.CPUFor(p).Charge(nd.M.Cfg.Cost.LoadCost)
+	if v > r.credit {
+		r.credit = v
+	}
+}
+
+// Write appends data to the stream, blocking for credit as needed. The
+// data is published as one user-level message (plus an internal
+// position update).
+func (r *Ring) Write(p *sim.Proc, data []byte) {
+	nd := r.sndEP.Node
+	for len(data) > 0 {
+		r.refreshCredit(p)
+		if r.space() == 0 {
+			// Publish what we have so the receiver can drain, then wait
+			// for credit.
+			r.publishPos(p, false)
+			var seen int64
+			for r.space() == 0 {
+				seen = r.creditExp.WaitUpdate(p, seen)
+				r.refreshCredit(p)
+			}
+		}
+		off := int(r.writePos) % r.size
+		chunk := len(data)
+		if chunk > r.space() {
+			chunk = r.space()
+		}
+		if chunk > r.size-off {
+			chunk = r.size - off
+		}
+		r.transfer(p, off, data[:chunk])
+		r.writePos += uint64(chunk)
+		data = data[chunk:]
+	}
+	r.publishPos(p, true)
+	if r.cfg.Mode == AU {
+		// AU streams count messages in the library (the NIC only sees
+		// snooped stores), and a kernel-mediated design would trap here
+		// just the same (§4.3).
+		nd.Acct.Counters.MessagesSent++
+		if nd.M.Cfg.SyscallPerSend {
+			nd.CPUFor(p).ChargeOverhead(nd.M.Cfg.Cost.SyscallCost)
+			nd.Acct.Counters.Syscalls++
+		}
+	}
+}
+
+// transfer moves one contiguous chunk into the remote ring at off.
+func (r *Ring) transfer(p *sim.Proc, off int, data []byte) {
+	nd := r.sndEP.Node
+	switch r.cfg.Mode {
+	case DU:
+		// Zero-copy send path: user-level DMA straight from the send
+		// buffer — the transfer model VMMC was designed for (the mirror
+		// write below is simulator bookkeeping, not a charged copy).
+		nd.Mem.Write(p, r.mirror+memory.Addr(off), data)
+		r.dataImp.Send(p, r.mirror+memory.Addr(off), off, len(data),
+			vmmc.SendOpts{Internal: true})
+	case AU:
+		// The stores themselves are the transfer.
+		nd.StoreBytes(p, r.mirror+memory.Addr(off), data)
+	}
+}
+
+// publishPos makes all written bytes visible to the receiver. A final
+// publish is the user-message trailer; intermediate publishes (made
+// while blocked for credit) are internal bookkeeping.
+func (r *Ring) publishPos(p *sim.Proc, final bool) {
+	nd := r.sndEP.Node
+	ctl := r.mirror + memory.Addr(r.ctlOffset())
+	switch r.cfg.Mode {
+	case DU:
+		nd.Mem.WriteUint64(p, ctl, r.writePos)
+		// The position update is the message trailer: it carries the
+		// user-message boundary and the optional notification bit.
+		r.dataImp.Send(p, ctl, r.ctlOffset(), 8,
+			vmmc.SendOpts{Notify: r.cfg.Notify && final, Internal: !final})
+	case AU:
+		nd.StoreUint64(p, ctl, r.writePos)
+	}
+}
+
+// available reports unread bytes at the receiver.
+func (r *Ring) available(p *sim.Proc) int {
+	nd := r.rcvEP.Node
+	nd.CPUFor(p).Charge(nd.M.Cfg.Cost.LoadCost)
+	w := nd.Mem.ReadUint64(p, r.dataExp.Base+memory.Addr(r.ctlOffset()))
+	return int(w - r.readPos)
+}
+
+// Available reports how many bytes Read would return without blocking.
+func (r *Ring) Available(p *sim.Proc) int { return r.available(p) }
+
+// WaitReadable blocks until at least one byte is available.
+func (r *Ring) WaitReadable(p *sim.Proc) {
+	var seen int64 = -1
+	for r.available(p) == 0 {
+		seen = r.dataExp.WaitUpdate(p, seen)
+	}
+}
+
+// Read consumes up to len(buf) bytes, blocking until at least one is
+// available. It returns the number of bytes read.
+func (r *Ring) Read(p *sim.Proc, buf []byte) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	r.WaitReadable(p)
+	nd := r.rcvEP.Node
+	total := 0
+	avail := r.available(p)
+	for total < len(buf) && avail > 0 {
+		off := int(r.readPos) % r.size
+		chunk := len(buf) - total
+		if chunk > avail {
+			chunk = avail
+		}
+		if chunk > r.size-off {
+			chunk = r.size - off
+		}
+		nd.CPUFor(p).Charge(nd.M.Cfg.Cost.CopyTime(chunk))
+		nd.Mem.Read(p, r.dataExp.Base+memory.Addr(off), buf[total:total+chunk])
+		r.readPos += uint64(chunk)
+		total += chunk
+		avail -= chunk
+	}
+	r.noteConsumed(p, total)
+	return total
+}
+
+// ReadFull consumes exactly len(buf) bytes.
+func (r *Ring) ReadFull(p *sim.Proc, buf []byte) {
+	got := 0
+	for got < len(buf) {
+		got += r.Read(p, buf[got:])
+	}
+}
+
+// noteConsumed returns credit to the sender once enough has been read.
+func (r *Ring) noteConsumed(p *sim.Proc, n int) {
+	r.uncredited += n
+	if r.uncredited < r.size/4 {
+		return
+	}
+	r.uncredited = 0
+	nd := r.rcvEP.Node
+	// Publish the cumulative read position into the sender's credit
+	// export (internal bookkeeping message).
+	scratch := r.creditScratch(p)
+	nd.Mem.WriteUint64(p, scratch, r.readPos)
+	r.creditImp.Send(p, scratch, 0, 8, vmmc.SendOpts{Internal: true})
+}
+
+// creditScratch lazily allocates the receiver-side staging word used to
+// DMA credit updates.
+func (r *Ring) creditScratch(p *sim.Proc) memory.Addr {
+	if r.scratch == 0 {
+		r.scratch = r.rcvEP.Node.Mem.Alloc(1)
+	}
+	return r.scratch
+}
+
+// String describes the ring for diagnostics.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring[%s %dB %d->%d]", r.cfg.Mode, r.size,
+		r.sndEP.Node.ID, r.rcvEP.Node.ID)
+}
+
+// DataExport exposes the receiver-side data export (for attaching
+// notification handlers to request channels).
+func (r *Ring) DataExport() *vmmc.Export { return r.dataExp }

@@ -1,0 +1,196 @@
+package ring
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"shrimp/internal/machine"
+	"shrimp/internal/sim"
+	"shrimp/internal/vmmc"
+)
+
+func newPair(t *testing.T, cfg Config) (*vmmc.System, *Ring) {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(2))
+	t.Cleanup(m.Close)
+	s := vmmc.NewSystem(m)
+	r := New(s.EP(0), s.EP(1), cfg)
+	return s, r
+}
+
+func runTransfer(t *testing.T, cfg Config, writes [][]byte) []byte {
+	t.Helper()
+	s, r := newPair(t, cfg)
+	total := 0
+	for _, w := range writes {
+		total += len(w)
+	}
+	got := make([]byte, total)
+	s.M.RunParallel("xfer", func(nd *machine.Node, p *sim.Proc) {
+		switch nd.ID {
+		case 0:
+			for _, w := range writes {
+				r.Write(p, w)
+			}
+		case 1:
+			r.ReadFull(p, got)
+		}
+	})
+	return got
+}
+
+func TestStreamIntegritySmall(t *testing.T) {
+	for _, mode := range []Mode{DU, AU} {
+		msg := []byte("hello stream over " + mode.String())
+		got := runTransfer(t, Config{Bytes: 8192, Mode: mode, Combine: true},
+			[][]byte{msg})
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("%v: got %q", mode, got)
+		}
+	}
+}
+
+func TestStreamWrapAround(t *testing.T) {
+	// Total traffic is several times the ring size, forcing wraps and
+	// credit exchanges.
+	for _, mode := range []Mode{DU, AU} {
+		rng := rand.New(rand.NewSource(42))
+		var writes [][]byte
+		var all []byte
+		for i := 0; i < 40; i++ {
+			n := rng.Intn(3000) + 1
+			w := make([]byte, n)
+			rng.Read(w)
+			writes = append(writes, w)
+			all = append(all, w...)
+		}
+		got := runTransfer(t, Config{Bytes: 8192, Mode: mode, Combine: true}, writes)
+		if !bytes.Equal(got, all) {
+			t.Fatalf("%v: stream corrupted across wrap (len %d vs %d)", mode, len(got), len(all))
+		}
+	}
+}
+
+func TestSingleWriteLargerThanRing(t *testing.T) {
+	for _, mode := range []Mode{DU, AU} {
+		data := make([]byte, 40000) // ring is 8192
+		for i := range data {
+			data[i] = byte(i % 251)
+		}
+		got := runTransfer(t, Config{Bytes: 8192, Mode: mode, Combine: true},
+			[][]byte{data})
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%v: oversized write corrupted", mode)
+		}
+	}
+}
+
+func TestBackpressureBlocksWriter(t *testing.T) {
+	s, r := newPair(t, Config{Bytes: 4096, Mode: DU})
+	var writerDone, readerStart sim.Time
+	s.M.RunParallel("bp", func(nd *machine.Node, p *sim.Proc) {
+		switch nd.ID {
+		case 0:
+			r.Write(p, make([]byte, 3*4096))
+			writerDone = p.Now()
+		case 1:
+			p.Sleep(10 * sim.Millisecond) // reader idles; writer must block
+			readerStart = p.Now()
+			r.ReadFull(p, make([]byte, 3*4096))
+		}
+	})
+	if writerDone <= readerStart {
+		t.Fatalf("writer finished at %v before reader started at %v; no backpressure",
+			writerDone, readerStart)
+	}
+}
+
+func TestAvailableAndPartialReads(t *testing.T) {
+	s, r := newPair(t, Config{Bytes: 8192, Mode: DU})
+	s.M.RunParallel("partial", func(nd *machine.Node, p *sim.Proc) {
+		switch nd.ID {
+		case 0:
+			r.Write(p, []byte{1, 2, 3, 4, 5})
+		case 1:
+			buf := make([]byte, 2)
+			n := r.Read(p, buf)
+			if n != 2 || buf[0] != 1 || buf[1] != 2 {
+				t.Errorf("first read got %v (n=%d)", buf, n)
+			}
+			rest := make([]byte, 3)
+			r.ReadFull(p, rest)
+			if rest[0] != 3 || rest[2] != 5 {
+				t.Errorf("rest = %v", rest)
+			}
+			if a := r.Available(p); a != 0 {
+				t.Errorf("available after drain = %d", a)
+			}
+		}
+	})
+}
+
+func TestAUModeGeneratesAUTraffic(t *testing.T) {
+	s, r := newPair(t, Config{Bytes: 8192, Mode: AU, Combine: true})
+	s.M.RunParallel("au", func(nd *machine.Node, p *sim.Proc) {
+		switch nd.ID {
+		case 0:
+			r.Write(p, make([]byte, 2048))
+		case 1:
+			r.ReadFull(p, make([]byte, 2048))
+		}
+	})
+	c := s.M.Nodes[0].Acct.Counters
+	if c.AUPackets == 0 || c.AUStores == 0 {
+		t.Fatalf("AU-mode ring produced no AU traffic: %+v", c)
+	}
+	if c.DUTransfers != 0 {
+		t.Fatalf("AU-mode ring used %d DU transfers for data", c.DUTransfers)
+	}
+}
+
+func TestDUFasterThanUncombinedAUForBulk(t *testing.T) {
+	// §4.2/§4.5.1: for bulk transfers, DU beats AU-without-combining by
+	// a wide margin (DFS-sockets ran ~2x slower forced to uncombined AU).
+	elapsed := func(cfg Config) sim.Time {
+		s, r := newPair(t, cfg)
+		size := 64 * 1024
+		return s.M.RunParallel("bulk", func(nd *machine.Node, p *sim.Proc) {
+			switch nd.ID {
+			case 0:
+				r.Write(p, make([]byte, size))
+			case 1:
+				r.ReadFull(p, make([]byte, size))
+			}
+		})
+	}
+	du := elapsed(Config{Bytes: 32 * 1024, Mode: DU})
+	auNo := elapsed(Config{Bytes: 32 * 1024, Mode: AU, Combine: false})
+	if auNo < du*3/2 {
+		t.Fatalf("uncombined AU (%v) not clearly slower than DU (%v) for bulk", auNo, du)
+	}
+	auYes := elapsed(Config{Bytes: 32 * 1024, Mode: AU, Combine: true})
+	if auYes >= auNo {
+		t.Fatalf("combining did not help bulk AU: with=%v without=%v", auYes, auNo)
+	}
+}
+
+func TestNotifyRingFiresNotifications(t *testing.T) {
+	s, r := newPair(t, Config{Bytes: 8192, Mode: DU, Notify: true})
+	count := 0
+	r.DataExport().SetNotify(func(p *sim.Proc, ex *vmmc.Export, off int) { count++ })
+	s.M.RunParallel("notify", func(nd *machine.Node, p *sim.Proc) {
+		switch nd.ID {
+		case 0:
+			for i := 0; i < 3; i++ {
+				r.Write(p, []byte("ping"))
+			}
+		case 1:
+			r.ReadFull(p, make([]byte, 12))
+			p.Sleep(sim.Millisecond)
+		}
+	})
+	if count != 3 {
+		t.Fatalf("notifications = %d, want 3", count)
+	}
+}

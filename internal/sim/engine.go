@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a single entry in the engine's calendar. Exactly one of fn and
+// proc is set: fn events run inline in engine context; proc events resume
+// a parked process.
+type event struct {
+	t        Time
+	seq      uint64
+	fn       func()
+	proc     *Proc
+	canceled bool
+	index    int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator. The zero value is
+// not usable; construct with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// parked is signaled by a proc when it yields control back to the
+	// engine (by sleeping, blocking, or terminating).
+	parked chan struct{}
+
+	live    int // procs spawned and not yet finished
+	blocked int // procs parked with no scheduled wake (waiting on a Cond)
+	all     []*Proc
+
+	running bool
+	stopped bool
+}
+
+// killSignal unwinds a process goroutine during Shutdown.
+type killSignal struct{}
+
+// NewEngine returns an empty simulation at time zero.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan struct{})}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Live reports the number of processes that have been spawned and have
+// not yet returned.
+func (e *Engine) Live() int { return e.live }
+
+// Blocked reports the number of processes currently parked with no
+// scheduled wakeup (i.e. waiting on a condition that nobody has signaled).
+// After Run returns, a nonzero Blocked count indicates a deadlock.
+func (e *Engine) Blocked() int { return e.blocked }
+
+func (e *Engine) push(ev *event) *event {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// At schedules fn to run in engine context at time t. Scheduling in the
+// past panics: it would break causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.push(&event{t: t, fn: fn})
+}
+
+// After schedules fn to run in engine context d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Spawn creates a new simulation process that begins executing body at
+// the current virtual time (after the caller yields). The name is used
+// in diagnostics only.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, body)
+}
+
+// SpawnAt creates a new simulation process that begins executing at time t.
+func (e *Engine) SpawnAt(t Time, name string, body func(p *Proc)) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.live++
+	e.all = append(e.all, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSignal); !ok {
+					panic(r) // real failure: crash loudly
+				}
+			}
+			p.finished = true
+			e.live--
+			e.parked <- struct{}{}
+		}()
+		if p.killed {
+			panic(killSignal{})
+		}
+		body(p)
+	}()
+	e.push(&event{t: t, proc: p})
+	return p
+}
+
+// Shutdown terminates every unfinished process (device engines that
+// loop forever, deadlocked waiters) so their goroutines exit. Call only
+// after Run has returned; the engine is unusable afterwards.
+func (e *Engine) Shutdown() {
+	if e.running {
+		panic("sim: Shutdown during Run")
+	}
+	for _, p := range e.all {
+		if p.finished {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-e.parked
+	}
+	e.all = nil
+	e.events = nil
+}
+
+// wake schedules p to resume at time t. p must be parked.
+func (e *Engine) wake(p *Proc, t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: waking %s at %v before now %v", p.name, t, e.now))
+	}
+	e.push(&event{t: t, proc: p})
+}
+
+// Run executes events until the calendar is empty or Stop is called.
+// It returns the final virtual time. If processes remain blocked on
+// conditions when the calendar drains, Run returns anyway; callers can
+// inspect Blocked to detect deadlock.
+func (e *Engine) Run() Time {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.t
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		// Resume the process and wait for it to yield back.
+		ev.proc.resume <- struct{}{}
+		<-e.parked
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline and then stops,
+// setting the clock to deadline if the simulation ran dry earlier.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].t > deadline {
+			break
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.t
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		ev.proc.resume <- struct{}{}
+		<-e.parked
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Timer is a cancelable scheduled callback.
+type Timer struct {
+	ev *event
+}
+
+// NewTimer schedules fn to run after d; the returned Timer can cancel it.
+func (e *Engine) NewTimer(d Time, fn func()) *Timer {
+	ev := &event{t: e.now + d, fn: fn}
+	e.push(ev)
+	return &Timer{ev: ev}
+}
+
+// Cancel prevents the timer from firing. Canceling an already-fired or
+// already-canceled timer is a no-op. It reports whether the cancellation
+// took effect.
+func (t *Timer) Cancel() bool {
+	if t.ev == nil || t.ev.canceled {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// UnfinishedNames lists the names of processes that have not completed,
+// for deadlock diagnostics.
+func (e *Engine) UnfinishedNames() []string {
+	var names []string
+	for _, p := range e.all {
+		if !p.finished {
+			names = append(names, p.name)
+		}
+	}
+	return names
+}

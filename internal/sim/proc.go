@@ -1,0 +1,173 @@
+package sim
+
+// Proc is a simulation process: a goroutine whose execution is
+// interleaved with all other processes under control of the Engine, so
+// that exactly one process runs at a time and virtual time only advances
+// while every process is parked.
+type Proc struct {
+	e        *Engine
+	name     string
+	resume   chan struct{}
+	finished bool
+	killed   bool
+}
+
+// Name reports the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// park yields control to the engine and blocks until some event resumes
+// this process. The caller must have arranged for a wakeup (a scheduled
+// event or registration on a Cond) or the process deadlocks.
+func (p *Proc) park() {
+	p.e.parked <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSignal{})
+	}
+}
+
+// Sleep advances this process's local time by d, yielding to the engine.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		// Even a zero sleep is a scheduling point: it lets same-time
+		// events that were scheduled earlier run first.
+		p.e.wake(p, p.e.now)
+		p.park()
+		return
+	}
+	p.e.wake(p, p.e.now+d)
+	p.park()
+}
+
+// SleepUntil parks until virtual time t (no-op if t is in the past).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.e.now {
+		return
+	}
+	p.e.wake(p, t)
+	p.park()
+}
+
+// Yield gives other same-time events a chance to run.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// block parks the process with no scheduled wake; the engine counts it
+// as blocked until something wakes it.
+func (p *Proc) block() {
+	p.e.blocked++
+	p.park()
+	p.e.blocked--
+}
+
+// Cond is a simulation-time condition variable. Processes Wait on it;
+// any code (engine context or another process) may Signal or Broadcast.
+// Wakeups are FIFO and occur at the signaling instant.
+type Cond struct {
+	e       *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition bound to engine e.
+func NewCond(e *Engine) *Cond { return &Cond{e: e} }
+
+// Wait parks the calling process until a Signal or Broadcast wakes it.
+// As with sync.Cond, the surrounding predicate must be re-checked in a
+// loop by the caller when multiple waiters compete.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.block()
+}
+
+// Waiters reports how many processes are currently waiting.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	c.e.wake(p, c.e.now)
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		c.e.wake(p, c.e.now)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Resource is a non-preemptive, FIFO-queued exclusive resource: the model
+// used for the memory bus (which cannot cycle-share between the CPU and
+// the network interface).
+type Resource struct {
+	e     *Engine
+	held  bool
+	queue []*Proc
+}
+
+// NewResource returns an idle resource bound to engine e.
+func NewResource(e *Engine) *Resource { return &Resource{e: e} }
+
+// Acquire blocks p until the resource is free, then takes it.
+func (r *Resource) Acquire(p *Proc) {
+	if !r.held && len(r.queue) == 0 {
+		r.held = true
+		return
+	}
+	r.queue = append(r.queue, p)
+	// Ownership is transferred directly by Release, so on wake the
+	// resource is already held on this process's behalf.
+	p.block()
+}
+
+// TryAcquire takes the resource if it is free, reporting success.
+func (r *Resource) TryAcquire() bool {
+	if r.held || len(r.queue) > 0 {
+		return false
+	}
+	r.held = true
+	return true
+}
+
+// Release frees the resource or, if processes are waiting, transfers
+// ownership directly to the longest waiter (so no third party can steal
+// the resource between release and wakeup).
+func (r *Resource) Release() {
+	if !r.held {
+		panic("sim: Release of unheld resource")
+	}
+	if len(r.queue) == 0 {
+		r.held = false
+		return
+	}
+	p := r.queue[0]
+	copy(r.queue, r.queue[1:])
+	r.queue = r.queue[:len(r.queue)-1]
+	r.e.wake(p, r.e.now)
+}
+
+// Use acquires the resource, holds it for d, and releases it.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.held }
+
+// QueueLen reports the number of processes waiting for the resource.
+func (r *Resource) QueueLen() int { return len(r.queue) }

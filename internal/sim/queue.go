@@ -1,0 +1,57 @@
+package sim
+
+// Queue is an unbounded FIFO that simulation processes can block on.
+// Pushing is legal from any context (engine callbacks or processes);
+// popping blocks the calling process until an item is available.
+type Queue[T any] struct {
+	items []T
+	cond  *Cond
+}
+
+// NewQueue returns an empty queue bound to engine e.
+func NewQueue[T any](e *Engine) *Queue[T] {
+	return &Queue[T]{cond: NewCond(e)}
+}
+
+// Push appends v and wakes one waiting consumer.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// Pop removes and returns the head item, blocking p until one exists.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for len(q.items) == 0 {
+		q.cond.Wait(p)
+	}
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v
+}
+
+// TryPop removes and returns the head item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Peek returns the head item without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	return q.items[0], true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

@@ -1,0 +1,42 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation engine. It is the foundation every hardware model in this
+// repository (mesh network, NIC, memory bus, CPU cost model) is built on.
+//
+// The engine is logically single-threaded: exactly one simulation process
+// runs at any instant, and events at equal timestamps fire in the order
+// they were scheduled, so a simulation is reproducible bit-for-bit.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, measured in nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Duration constants, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}

@@ -1,0 +1,150 @@
+package socketlib
+
+import (
+	"bytes"
+	"testing"
+
+	"shrimp/internal/machine"
+	"shrimp/internal/ring"
+	"shrimp/internal/sim"
+	"shrimp/internal/vmmc"
+)
+
+func newStack(t *testing.T, nodes int, cfg Config) (*vmmc.System, *Stack) {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(nodes))
+	t.Cleanup(m.Close)
+	sys := vmmc.NewSystem(m)
+	return sys, NewStack(sys, cfg)
+}
+
+func TestConnectReadWrite(t *testing.T) {
+	for _, mode := range []ring.Mode{ring.DU, ring.AU} {
+		sys, st := newStack(t, 2, Config{Mode: mode, Combine: true, RingBytes: 32 * 1024})
+		l := st.Listen(1, 80)
+		sys.M.RunParallel("sock", func(nd *machine.Node, p *sim.Proc) {
+			switch nd.ID {
+			case 0:
+				c := st.Dial(p, 0, 1, 80)
+				c.Write(p, []byte("GET /shrimp"))
+				buf := make([]byte, 2)
+				c.ReadFull(p, buf)
+				if string(buf) != "OK" {
+					t.Errorf("%v: reply %q", mode, buf)
+				}
+			case 1:
+				c := l.Accept(p)
+				buf := make([]byte, 11)
+				c.ReadFull(p, buf)
+				if string(buf) != "GET /shrimp" {
+					t.Errorf("%v: request %q", mode, buf)
+				}
+				c.Write(p, []byte("OK"))
+			}
+		})
+	}
+}
+
+func TestBidirectionalSimultaneous(t *testing.T) {
+	sys, st := newStack(t, 2, DefaultConfig())
+	l := st.Listen(1, 9)
+	const n = 96 * 1024
+	mk := func(seed byte) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = seed + byte(i%97)
+		}
+		return b
+	}
+	up, down := mk(1), mk(2)
+	sys.M.RunParallel("bidir", func(nd *machine.Node, p *sim.Proc) {
+		switch nd.ID {
+		case 0:
+			c := st.Dial(p, 0, 1, 9)
+			got := make([]byte, n)
+			done := make(chan struct{})
+			_ = done
+			// Interleave write and read to avoid buffer deadlock.
+			const chunk = 8192
+			for off := 0; off < n; off += chunk {
+				c.Write(p, up[off:off+chunk])
+				c.ReadFull(p, got[off:off+chunk])
+			}
+			if !bytes.Equal(got, down) {
+				t.Error("client stream corrupted")
+			}
+		case 1:
+			c := l.Accept(p)
+			got := make([]byte, n)
+			const chunk = 8192
+			for off := 0; off < n; off += chunk {
+				c.ReadFull(p, got[off:off+chunk])
+				c.Write(p, down[off:off+chunk])
+			}
+			if !bytes.Equal(got, up) {
+				t.Error("server stream corrupted")
+			}
+		}
+	})
+}
+
+func TestBlockTransferExtension(t *testing.T) {
+	sys, st := newStack(t, 2, DefaultConfig())
+	l := st.Listen(1, 5000)
+	blocks := [][]byte{
+		[]byte("small"),
+		bytes.Repeat([]byte{0xaa}, 8192),
+		{},
+		bytes.Repeat([]byte{0x55}, 70000),
+	}
+	sys.M.RunParallel("blocks", func(nd *machine.Node, p *sim.Proc) {
+		switch nd.ID {
+		case 0:
+			c := st.Dial(p, 0, 1, 5000)
+			for _, b := range blocks {
+				c.WriteBlock(p, b)
+			}
+		case 1:
+			c := l.Accept(p)
+			for i, want := range blocks {
+				got := c.ReadBlock(p)
+				if !bytes.Equal(got, want) {
+					t.Errorf("block %d corrupted (%d vs %d bytes)", i, len(got), len(want))
+				}
+			}
+		}
+	})
+}
+
+func TestManyClientsOneServer(t *testing.T) {
+	const n = 8
+	sys, st := newStack(t, n, DefaultConfig())
+	l := st.Listen(0, 7)
+	sys.M.RunParallel("many", func(nd *machine.Node, p *sim.Proc) {
+		if nd.ID == 0 {
+			for i := 1; i < n; i++ {
+				c := l.Accept(p)
+				req := c.ReadBlock(p)
+				c.WriteBlock(p, append([]byte("echo:"), req...))
+			}
+			return
+		}
+		c := st.Dial(p, int(nd.ID), 0, 7)
+		c.WriteBlock(p, []byte{byte(nd.ID)})
+		rep := c.ReadBlock(p)
+		if len(rep) != 6 || rep[5] != byte(nd.ID) {
+			t.Errorf("node %d got reply %v", nd.ID, rep)
+		}
+	})
+}
+
+func TestDialUnboundPortPanics(t *testing.T) {
+	sys, st := newStack(t, 2, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic dialing unbound port")
+		}
+	}()
+	_ = sys
+	st.Dial(nil, 0, 1, 404)
+}

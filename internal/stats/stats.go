@@ -1,0 +1,133 @@
+// Package stats defines the per-node execution-time accounting and event
+// counters the paper's tables and figures are built from: the
+// computation / communication / lock / barrier / overhead breakdown of
+// Figure 4 and the message, notification, interrupt and system-call
+// counts behind Tables 2-4.
+package stats
+
+import (
+	"fmt"
+
+	"shrimp/internal/sim"
+)
+
+// Category is one slice of the execution-time breakdown.
+type Category int
+
+const (
+	// Compute is useful application work.
+	Compute Category = iota
+	// Comm is time blocked waiting for data or message transfer.
+	Comm
+	// Lock is time blocked acquiring locks.
+	Lock
+	// Barrier is time blocked at barriers.
+	Barrier
+	// Overhead is protocol and kernel overhead: system calls, interrupt
+	// handlers, diff creation/application, fault service.
+	Overhead
+	// NumCategories is the number of breakdown slices.
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{"compute", "comm", "lock", "barrier", "overhead"}
+
+func (c Category) String() string {
+	if c < 0 || c >= NumCategories {
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// Breakdown is virtual time spent per category.
+type Breakdown [NumCategories]sim.Time
+
+// Total sums all categories.
+func (b *Breakdown) Total() sim.Time {
+	var t sim.Time
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(o *Breakdown) {
+	for i := range b {
+		b[i] += o[i]
+	}
+}
+
+// Counters aggregates communication events on one node.
+type Counters struct {
+	MessagesSent  int64 // VMMC-level sends (deliberate update transfers begun)
+	MessagesRecv  int64 // complete messages delivered
+	Notifications int64 // user-level notifications dispatched
+	Interrupts    int64 // hardware interrupts taken (any cause)
+	Syscalls      int64 // kernel traps (syscall-per-send experiment)
+	AUStores      int64 // stores snooped on AU-bound pages
+	AUPackets     int64 // automatic-update packets injected
+	DUTransfers   int64 // deliberate-update DMA transfers
+	BytesSent     int64 // payload bytes injected
+	FlowStalls    int64 // CPU stalls due to outgoing-FIFO flow control
+	PageFaults    int64 // SVM protection faults
+	DiffsCreated  int64
+	DiffsApplied  int64
+	PagesFetched  int64
+}
+
+// Add accumulates another counter set into c.
+func (c *Counters) Add(o *Counters) {
+	c.MessagesSent += o.MessagesSent
+	c.MessagesRecv += o.MessagesRecv
+	c.Notifications += o.Notifications
+	c.Interrupts += o.Interrupts
+	c.Syscalls += o.Syscalls
+	c.AUStores += o.AUStores
+	c.AUPackets += o.AUPackets
+	c.DUTransfers += o.DUTransfers
+	c.BytesSent += o.BytesSent
+	c.FlowStalls += o.FlowStalls
+	c.PageFaults += o.PageFaults
+	c.DiffsCreated += o.DiffsCreated
+	c.DiffsApplied += o.DiffsApplied
+	c.PagesFetched += o.PagesFetched
+}
+
+// Node is the complete account for one node.
+type Node struct {
+	Breakdown Breakdown
+	Counters  Counters
+}
+
+// Machine aggregates accounts across all nodes of a run.
+type Machine struct {
+	Nodes []*Node
+}
+
+// NewMachine returns accounts for n nodes.
+func NewMachine(n int) *Machine {
+	m := &Machine{Nodes: make([]*Node, n)}
+	for i := range m.Nodes {
+		m.Nodes[i] = &Node{}
+	}
+	return m
+}
+
+// TotalBreakdown sums the per-node breakdowns.
+func (m *Machine) TotalBreakdown() Breakdown {
+	var b Breakdown
+	for _, n := range m.Nodes {
+		b.Add(&n.Breakdown)
+	}
+	return b
+}
+
+// TotalCounters sums the per-node counters.
+func (m *Machine) TotalCounters() Counters {
+	var c Counters
+	for _, n := range m.Nodes {
+		c.Add(&n.Counters)
+	}
+	return c
+}

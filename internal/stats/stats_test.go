@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"shrimp/internal/sim"
+)
+
+func TestBreakdownTotalAndAdd(t *testing.T) {
+	var a, b Breakdown
+	a[Compute] = 10
+	a[Comm] = 5
+	b[Compute] = 1
+	b[Overhead] = 4
+	a.Add(&b)
+	if a[Compute] != 11 || a[Overhead] != 4 || a.Total() != 20 {
+		t.Fatalf("breakdown after add: %+v (total %d)", a, a.Total())
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	want := map[Category]string{
+		Compute: "compute", Comm: "comm", Lock: "lock",
+		Barrier: "barrier", Overhead: "overhead",
+	}
+	for c, n := range want {
+		if c.String() != n {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), n)
+		}
+	}
+	if Category(99).String() == "" {
+		t.Error("out-of-range category produced empty string")
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{MessagesSent: 1, Notifications: 2, AUStores: 3, DiffsCreated: 4}
+	b := Counters{MessagesSent: 10, Interrupts: 5, DiffsApplied: 6, PagesFetched: 7}
+	a.Add(&b)
+	if a.MessagesSent != 11 || a.Interrupts != 5 || a.Notifications != 2 ||
+		a.DiffsApplied != 6 || a.PagesFetched != 7 {
+		t.Fatalf("counters after add: %+v", a)
+	}
+}
+
+func TestMachineAggregation(t *testing.T) {
+	m := NewMachine(3)
+	for i, nd := range m.Nodes {
+		nd.Breakdown[Compute] = sim.Time(10 * (i + 1))
+		nd.Counters.MessagesSent = int64(i)
+	}
+	if got := m.TotalBreakdown()[Compute]; got != 60 {
+		t.Fatalf("total compute = %v", got)
+	}
+	if got := m.TotalCounters().MessagesSent; got != 3 {
+		t.Fatalf("total messages = %d", got)
+	}
+}
+
+// Property: Add is commutative and Total is linear.
+func TestBreakdownAddProperty(t *testing.T) {
+	f := func(x, y [NumCategories]uint32) bool {
+		var a, b, ab, ba Breakdown
+		for i := range x {
+			a[i] = sim.Time(x[i])
+			b[i] = sim.Time(y[i])
+		}
+		ab = a
+		ab.Add(&b)
+		ba = b
+		ba.Add(&a)
+		return ab == ba && ab.Total() == a.Total()+b.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

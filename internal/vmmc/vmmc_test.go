@@ -1,0 +1,335 @@
+package vmmc
+
+import (
+	"testing"
+
+	"shrimp/internal/machine"
+	"shrimp/internal/memory"
+	"shrimp/internal/sim"
+)
+
+// twoNodes builds a 2-node VMMC system with an export on node 1
+// imported by node 0.
+func twoNodes(t *testing.T, mut func(*machine.Config)) (*System, *Export, *Import) {
+	t.Helper()
+	cfg := machine.DefaultConfig(2)
+	if mut != nil {
+		mut(&cfg)
+	}
+	m := machine.New(cfg)
+	t.Cleanup(m.Close)
+	s := NewSystem(m)
+	var ex *Export
+	var imp *Import
+	m.RunParallel("setup", func(nd *machine.Node, p *sim.Proc) {
+		if nd.ID == 1 {
+			ex = s.EP(1).Export(p, 4)
+		}
+	})
+	m.RunParallel("setup2", func(nd *machine.Node, p *sim.Proc) {
+		if nd.ID == 0 {
+			imp = s.EP(0).Import(p, ex)
+		}
+	})
+	return s, ex, imp
+}
+
+func TestDeliberateUpdateRoundTrip(t *testing.T) {
+	s, ex, imp := twoNodes(t, nil)
+	n0 := s.M.Nodes[0]
+	src := n0.Mem.Alloc(2)
+	msg := []byte("the quick brown shrimp jumps over the lazy backplane")
+	n0.Mem.Write(nil, src, msg)
+
+	s.M.RunParallel("send", func(nd *machine.Node, p *sim.Proc) {
+		switch nd.ID {
+		case 0:
+			imp.Send(p, src, 128, len(msg), SendOpts{})
+		case 1:
+			ex.WaitUpdate(p, 0)
+		}
+	})
+	got := make([]byte, len(msg))
+	ex.Node().Mem.Read(nil, ex.Base+128, got)
+	if string(got) != string(msg) {
+		t.Fatalf("received %q", got)
+	}
+}
+
+func TestSendSplitsAtPageBoundaries(t *testing.T) {
+	s, ex, imp := twoNodes(t, nil)
+	n0 := s.M.Nodes[0]
+	size := 3*memory.PageSize + 500
+	src := n0.Mem.AllocBytes(size + 300)
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	n0.Mem.Write(nil, src+100, data) // unaligned source
+
+	s.M.RunParallel("send", func(nd *machine.Node, p *sim.Proc) {
+		switch nd.ID {
+		case 0:
+			imp.Send(p, src+100, 40, size, SendOpts{})
+			s.EP(0).WaitSendsDone(p)
+		case 1:
+			// Wait for the whole message: count packets until the data
+			// checks out.
+			var seen int64
+			deadline := 0
+			for {
+				seen = ex.WaitUpdate(p, seen)
+				got := make([]byte, size)
+				ex.Node().Mem.Read(nil, ex.Base+40, got)
+				ok := true
+				for i := range got {
+					if got[i] != data[i] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					return
+				}
+				deadline++
+				if deadline > 100 {
+					t.Error("message never completed")
+					return
+				}
+			}
+		}
+	})
+	if n0.Acct.Counters.DUTransfers < 4 {
+		t.Fatalf("DU transfers = %d, want >= 4 (page splitting)", n0.Acct.Counters.DUTransfers)
+	}
+	if n0.Acct.Counters.MessagesSent != 1 {
+		t.Fatalf("messages = %d, want 1", n0.Acct.Counters.MessagesSent)
+	}
+}
+
+func TestAutomaticUpdateBinding(t *testing.T) {
+	s, ex, imp := twoNodes(t, nil)
+	n0 := s.M.Nodes[0]
+	local := n0.Mem.Alloc(2)
+
+	s.M.RunParallel("au", func(nd *machine.Node, p *sim.Proc) {
+		switch nd.ID {
+		case 0:
+			imp.BindAU(p, local, 1, 2, true, false)
+			nd.StoreUint32(p, local+16, 0xfeedface)
+			nd.StoreUint32(p, local+memory.PageSize+4, 0x12345678)
+			s.EP(0).FenceAU(p)
+		case 1:
+			var seen int64
+			seen = ex.WaitUpdate(p, 0)
+			_ = ex.WaitUpdate(p, seen)
+		}
+	})
+	mem := ex.Node().Mem
+	if v := mem.ReadUint32(nil, ex.Base+memory.PageSize+16); v != 0xfeedface {
+		t.Fatalf("first AU word = %#x", v)
+	}
+	if v := mem.ReadUint32(nil, ex.Base+2*memory.PageSize+4); v != 0x12345678 {
+		t.Fatalf("second AU word = %#x", v)
+	}
+}
+
+func TestNotificationHandlerRuns(t *testing.T) {
+	s, ex, imp := twoNodes(t, nil)
+	n0 := s.M.Nodes[0]
+	src := n0.Mem.Alloc(1)
+	gotOff := -1
+	ex.SetNotify(func(p *sim.Proc, e *Export, off int) { gotOff = off })
+
+	s.M.RunParallel("notify", func(nd *machine.Node, p *sim.Proc) {
+		switch nd.ID {
+		case 0:
+			imp.Send(p, src, 2048, 64, SendOpts{Notify: true})
+		case 1:
+			ex.WaitUpdate(p, 0)
+			p.Sleep(200 * sim.Microsecond) // let the handler fire
+		}
+	})
+	if gotOff != 2048 {
+		t.Fatalf("notification offset = %d, want 2048", gotOff)
+	}
+	if s.M.Nodes[1].Acct.Counters.Notifications != 1 {
+		t.Fatalf("notification count = %d", s.M.Nodes[1].Acct.Counters.Notifications)
+	}
+}
+
+func TestNotificationBlocking(t *testing.T) {
+	s, ex, imp := twoNodes(t, nil)
+	n0 := s.M.Nodes[0]
+	src := n0.Mem.Alloc(1)
+	delivered := 0
+	ex.SetNotify(func(p *sim.Proc, e *Export, off int) { delivered++ })
+	s.EP(1).BlockNotifications()
+
+	s.M.RunParallel("blocked", func(nd *machine.Node, p *sim.Proc) {
+		switch nd.ID {
+		case 0:
+			for i := 0; i < 3; i++ {
+				imp.Send(p, src, 0, 32, SendOpts{Notify: true})
+				s.EP(0).WaitSendsDone(p)
+			}
+		case 1:
+			p.Sleep(5 * sim.Millisecond)
+			if delivered != 0 {
+				t.Errorf("notifications delivered while blocked: %d", delivered)
+			}
+			s.EP(1).UnblockNotifications()
+			p.Sleep(5 * sim.Millisecond)
+		}
+	})
+	if delivered != 3 {
+		t.Fatalf("queued notifications delivered = %d, want 3", delivered)
+	}
+}
+
+func TestSyscallPerSendCountsTraps(t *testing.T) {
+	s, _, imp := twoNodes(t, func(c *machine.Config) { c.SyscallPerSend = true })
+	n0 := s.M.Nodes[0]
+	src := n0.Mem.Alloc(1)
+	s.M.RunParallel("traps", func(nd *machine.Node, p *sim.Proc) {
+		if nd.ID != 0 {
+			return
+		}
+		for i := 0; i < 7; i++ {
+			imp.Send(p, src, 0, 16, SendOpts{})
+		}
+		s.EP(0).WaitSendsDone(p)
+	})
+	if n0.Acct.Counters.Syscalls != 7 {
+		t.Fatalf("syscalls = %d, want 7", n0.Acct.Counters.Syscalls)
+	}
+}
+
+// --- Calibration tests: the paper's microbenchmarks (§4.1, §4.2). ---
+
+// measureDULatency returns one-way user-to-user small-message latency.
+func measureDULatency(t *testing.T) sim.Time {
+	t.Helper()
+	s, ex, imp := twoNodes(t, nil)
+	n0 := s.M.Nodes[0]
+	src := n0.Mem.Alloc(1)
+	var start, end sim.Time
+	s.M.RunParallel("lat", func(nd *machine.Node, p *sim.Proc) {
+		switch nd.ID {
+		case 0:
+			nd.CPU.Flush(p)
+			start = p.Now()
+			imp.Send(p, src, 0, 4, SendOpts{})
+		case 1:
+			ex.WaitUpdate(p, 0)
+			end = p.Now()
+		}
+	})
+	return end - start
+}
+
+func measureAULatency(t *testing.T) sim.Time {
+	t.Helper()
+	s, ex, imp := twoNodes(t, nil)
+	n0 := s.M.Nodes[0]
+	local := n0.Mem.Alloc(1)
+	var start, end sim.Time
+	s.M.RunParallel("lat", func(nd *machine.Node, p *sim.Proc) {
+		switch nd.ID {
+		case 0:
+			// Single-word latency: combining off, as in the paper's
+			// lowest-latency configuration.
+			imp.BindAU(p, local, 0, 1, false, false)
+			nd.CPU.Flush(p)
+			start = p.Now()
+			nd.StoreUint32(p, local+64, 1)
+			nd.CPU.Flush(p)
+		case 1:
+			ex.WaitUpdate(p, 0)
+			end = p.Now()
+		}
+	})
+	return end - start
+}
+
+func TestCalibrationDULatency(t *testing.T) {
+	got := measureDULatency(t)
+	want := 6 * sim.Microsecond
+	if got < want*85/100 || got > want*115/100 {
+		t.Fatalf("DU small-message latency = %v, want ~%v (±15%%)", got, want)
+	}
+}
+
+func TestCalibrationAULatency(t *testing.T) {
+	got := measureAULatency(t)
+	want := 3710 * sim.Nanosecond
+	if got < want*85/100 || got > want*115/100 {
+		t.Fatalf("AU single-word latency = %v, want ~%v (±15%%)", got, want)
+	}
+}
+
+func TestCalibrationSendOverhead(t *testing.T) {
+	// §4.3: send-side overhead of a deliberate update must stay under
+	// 2 us of CPU time.
+	s, _, imp := twoNodes(t, nil)
+	n0 := s.M.Nodes[0]
+	src := n0.Mem.Alloc(1)
+	var overhead sim.Time
+	s.M.RunParallel("ovh", func(nd *machine.Node, p *sim.Proc) {
+		if nd.ID != 0 {
+			return
+		}
+		nd.CPU.Flush(p)
+		t0 := p.Now()
+		imp.Send(p, src, 0, 4, SendOpts{})
+		nd.CPU.Flush(p)
+		overhead = p.Now() - t0
+	})
+	if overhead >= 2*sim.Microsecond {
+		t.Fatalf("DU send overhead = %v, want < 2us", overhead)
+	}
+}
+
+func TestCalibrationMyrinetLatencyWorse(t *testing.T) {
+	// §4.1: the Myrinet-like off-the-shelf system should land near 10 us
+	// despite much faster nodes.
+	cfg := machine.MyrinetLikeConfig(2)
+	m := machine.New(cfg)
+	defer m.Close()
+	s := NewSystem(m)
+	var ex *Export
+	var imp *Import
+	m.RunParallel("setup", func(nd *machine.Node, p *sim.Proc) {
+		if nd.ID == 1 {
+			ex = s.EP(1).Export(p, 1)
+		}
+	})
+	m.RunParallel("setup2", func(nd *machine.Node, p *sim.Proc) {
+		if nd.ID == 0 {
+			imp = s.EP(0).Import(p, ex)
+		}
+	})
+	n0 := m.Nodes[0]
+	src := n0.Mem.Alloc(1)
+	var start, end sim.Time
+	m.RunParallel("lat", func(nd *machine.Node, p *sim.Proc) {
+		switch nd.ID {
+		case 0:
+			nd.CPU.Flush(p)
+			start = p.Now()
+			imp.Send(p, src, 0, 4, SendOpts{})
+		case 1:
+			ex.WaitUpdate(p, 0)
+			end = p.Now()
+		}
+	})
+	got := end - start
+	want := 10 * sim.Microsecond
+	if got < want*80/100 || got > want*120/100 {
+		t.Fatalf("Myrinet-like latency = %v, want ~%v", got, want)
+	}
+	shrimp := measureDULatency(t)
+	if shrimp >= got {
+		t.Fatalf("SHRIMP latency %v not better than Myrinet-like %v", shrimp, got)
+	}
+}
