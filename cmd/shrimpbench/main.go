@@ -2,17 +2,24 @@
 // Choices in the SHRIMP System: An Empirical Study" (ISCA 1998) on the
 // simulated SHRIMP machine.
 //
+// Independent simulation cells (app x variant x node-count) run on a
+// worker pool; -parallel controls its width. Results are collected by
+// cell index, so output is deterministic and byte-identical whatever the
+// worker count.
+//
 // Usage:
 //
 //	shrimpbench [-exp all|table1|figure3|figure4svm|figure4audu|table2|
 //	             table3|table4|combining|fifo|duqueue|perpacket|latency]
-//	            [-nodes N] [-quick]
+//	            [-nodes N] [-quick] [-parallel N] [-json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"shrimp/internal/harness"
@@ -22,10 +29,14 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (comma separated)")
 	nodes := flag.Int("nodes", 16, "machine size (the paper's system is 16 nodes)")
 	quick := flag.Bool("quick", false, "use tiny problem sizes (fast smoke run)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"simulation cells to run concurrently (1 = serial; results are identical either way)")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per table/figure row instead of text")
 	flag.Parse()
 
 	cfg := harness.DefaultExperimentConfig()
 	cfg.Nodes = *nodes
+	cfg.Workers = *parallel
 	if *quick {
 		cfg.Workloads = harness.QuickWorkloads()
 	}
@@ -36,58 +47,78 @@ func main() {
 	}
 	want := func(name string) bool { return selected["all"] || selected[name] }
 	ran := false
-	w := os.Stdout
+	w := io.Writer(os.Stdout)
 
-	fmt.Fprintf(w, "SHRIMP design-choice evaluation — %d nodes, workloads: %s\n",
-		cfg.Nodes, cfg.Workloads.Note)
+	// emit renders one experiment's rows: a pretty table normally, or
+	// newline-delimited JSON records under -json.
+	emit := func(name string, rows any, print func()) {
+		ran = true
+		if *jsonOut {
+			if err := harness.EmitJSON(w, name, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		print()
+	}
+
+	if !*jsonOut {
+		fmt.Fprintf(w, "SHRIMP design-choice evaluation — %d nodes, workloads: %s\n",
+			cfg.Nodes, cfg.Workloads.Note)
+	}
 
 	if want("latency") {
-		harness.PrintLatency(w, harness.Latency())
-		ran = true
+		got := harness.Latency()
+		emit("latency", got, func() { harness.PrintLatency(w, got) })
 	}
 	if want("table1") {
-		harness.PrintTable1(w, harness.Table1(cfg), &cfg.Workloads)
-		ran = true
+		rows := harness.Table1(cfg)
+		emit("table1", rows, func() { harness.PrintTable1(w, rows, &cfg.Workloads) })
 	}
 	if want("figure3") {
-		harness.PrintFigure3(w, harness.Figure3(cfg))
-		ran = true
+		curves := harness.Figure3(cfg)
+		emit("figure3", curves, func() { harness.PrintFigure3(w, curves) })
 	}
 	if want("figure4svm") {
-		harness.PrintFigure4SVM(w, harness.Figure4SVM(cfg))
-		ran = true
+		rows := harness.Figure4SVM(cfg)
+		emit("figure4svm", rows, func() { harness.PrintFigure4SVM(w, rows) })
 	}
 	if want("figure4audu") {
-		harness.PrintFigure4AUDU(w, harness.Figure4AUDU(cfg))
-		ran = true
+		rows := harness.Figure4AUDU(cfg)
+		emit("figure4audu", rows, func() { harness.PrintFigure4AUDU(w, rows) })
 	}
 	if want("table2") {
-		harness.PrintWhatIf(w, "Table 2: system call per message send", harness.Table2(cfg))
-		ran = true
+		rows := harness.Table2(cfg)
+		emit("table2", rows, func() {
+			harness.PrintWhatIf(w, "Table 2: system call per message send", rows)
+		})
 	}
 	if want("table3") {
-		harness.PrintTable3(w, harness.Table3(cfg))
-		ran = true
+		rows := harness.Table3(cfg)
+		emit("table3", rows, func() { harness.PrintTable3(w, rows) })
 	}
 	if want("table4") {
-		harness.PrintWhatIf(w, "Table 4: interrupt per arriving message", harness.Table4(cfg))
-		ran = true
+		rows := harness.Table4(cfg)
+		emit("table4", rows, func() {
+			harness.PrintWhatIf(w, "Table 4: interrupt per arriving message", rows)
+		})
 	}
 	if want("combining") {
-		harness.PrintCombining(w, harness.Combining(cfg))
-		ran = true
+		rows := harness.Combining(cfg)
+		emit("combining", rows, func() { harness.PrintCombining(w, rows) })
 	}
 	if want("fifo") {
-		harness.PrintFIFO(w, harness.FIFO(cfg))
-		ran = true
+		rows := harness.FIFO(cfg)
+		emit("fifo", rows, func() { harness.PrintFIFO(w, rows) })
 	}
 	if want("duqueue") {
-		harness.PrintDUQueue(w, harness.DUQueue(cfg))
-		ran = true
+		rows := harness.DUQueue(cfg)
+		emit("duqueue", rows, func() { harness.PrintDUQueue(w, rows) })
 	}
 	if want("perpacket") {
-		harness.PrintPerPacket(w, harness.InterruptPerPacket(cfg))
-		ran = true
+		rows := harness.InterruptPerPacket(cfg)
+		emit("perpacket", rows, func() { harness.PrintPerPacket(w, rows) })
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "shrimpbench: unknown experiment %q\n", *exp)

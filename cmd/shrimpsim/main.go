@@ -1,19 +1,26 @@
-// Command shrimpsim runs a single application on the simulated SHRIMP
-// machine under a chosen configuration and reports execution time, the
-// per-category time breakdown, and communication counters.
+// Command shrimpsim runs one or more applications on the simulated
+// SHRIMP machine under a chosen configuration and reports execution
+// time, the per-category time breakdown, and communication counters.
+//
+// Several applications may be named (comma separated); their independent
+// simulations run concurrently on a worker pool (-parallel) and are
+// reported in the order given, so output does not depend on the worker
+// count.
 //
 // Usage:
 //
 //	shrimpsim -app barnes-svm|ocean-svm|radix-svm|radix-vmmc|
-//	               barnes-nx|ocean-nx|dfs|render
+//	               barnes-nx|ocean-nx|dfs|render[,app...]
 //	          [-nodes N] [-variant au|du] [-protocol hlrc|hlrc-au|aurc]
 //	          [-syscall] [-intmsg] [-nocombine] [-fifo bytes] [-duqueue N]
+//	          [-parallel N] [-quick]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"shrimp/internal/harness"
@@ -34,7 +41,7 @@ var appByName = map[string]harness.App{
 }
 
 func main() {
-	appName := flag.String("app", "", "application to run")
+	appNames := flag.String("app", "", "application(s) to run, comma separated")
 	nodes := flag.Int("nodes", 16, "machine size")
 	variant := flag.String("variant", "", "au or du (default: the app's best)")
 	protocol := flag.String("protocol", "", "SVM protocol: hlrc, hlrc-au, aurc")
@@ -43,68 +50,87 @@ func main() {
 	nocombine := flag.Bool("nocombine", false, "disable automatic-update combining")
 	fifo := flag.Int("fifo", 0, "outgoing FIFO bytes (0 = default 32 KB)")
 	duq := flag.Int("duqueue", 0, "deliberate-update queue depth (0 = default 1)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"apps to simulate concurrently when several are named")
 	quick := flag.Bool("quick", false, "use tiny problem sizes")
 	flag.Parse()
 
-	app, ok := appByName[strings.ToLower(*appName)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "shrimpsim: unknown app %q (want one of:", *appName)
-		for n := range appByName {
-			fmt.Fprintf(os.Stderr, " %s", n)
+	var apps []harness.App
+	for _, name := range strings.Split(*appNames, ",") {
+		app, ok := appByName[strings.ToLower(strings.TrimSpace(name))]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "shrimpsim: unknown app %q (want one of:", name)
+			for n := range appByName {
+				fmt.Fprintf(os.Stderr, " %s", n)
+			}
+			fmt.Fprintln(os.Stderr, ")")
+			os.Exit(2)
 		}
-		fmt.Fprintln(os.Stderr, ")")
-		os.Exit(2)
+		apps = append(apps, app)
 	}
 
-	spec := harness.Spec{App: app, Nodes: *nodes, Variant: harness.DefaultVariant(app)}
-	switch strings.ToLower(*variant) {
-	case "au":
-		spec.Variant = harness.VariantAU
-	case "du":
-		spec.Variant = harness.VariantDU
-	case "":
-	default:
-		fmt.Fprintf(os.Stderr, "shrimpsim: unknown variant %q\n", *variant)
-		os.Exit(2)
-	}
-	switch strings.ToLower(*protocol) {
-	case "hlrc":
-		p := svm.HLRC
-		spec.Protocol = &p
-	case "hlrc-au":
-		p := svm.HLRCAU
-		spec.Protocol = &p
-	case "aurc":
-		p := svm.AURC
-		spec.Protocol = &p
-	case "":
-	default:
-		fmt.Fprintf(os.Stderr, "shrimpsim: unknown protocol %q\n", *protocol)
-		os.Exit(2)
-	}
-	spec.Mutate = func(c *machine.Config) {
-		c.SyscallPerSend = *syscall
-		c.NIC.InterruptPerMessage = *intmsg
-		if *nocombine {
-			c.NIC.Combining = false
+	var cells []harness.Spec
+	for _, app := range apps {
+		spec := harness.Spec{App: app, Nodes: *nodes, Variant: harness.DefaultVariant(app)}
+		switch strings.ToLower(*variant) {
+		case "au":
+			spec.Variant = harness.VariantAU
+		case "du":
+			spec.Variant = harness.VariantDU
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "shrimpsim: unknown variant %q\n", *variant)
+			os.Exit(2)
 		}
-		if *fifo > 0 {
-			c.NIC.OutFIFOBytes = *fifo
-			c.NIC.FIFOThresholdBytes = *fifo * 3 / 4
-			c.NIC.FIFOLowWaterBytes = *fifo / 4
+		switch strings.ToLower(*protocol) {
+		case "hlrc":
+			p := svm.HLRC
+			spec.Protocol = &p
+		case "hlrc-au":
+			p := svm.HLRCAU
+			spec.Protocol = &p
+		case "aurc":
+			p := svm.AURC
+			spec.Protocol = &p
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "shrimpsim: unknown protocol %q\n", *protocol)
+			os.Exit(2)
 		}
-		if *duq > 0 {
-			c.NIC.DUQueueDepth = *duq
+		spec.Mutate = func(c *machine.Config) {
+			c.SyscallPerSend = *syscall
+			c.NIC.InterruptPerMessage = *intmsg
+			if *nocombine {
+				c.NIC.Combining = false
+			}
+			if *fifo > 0 {
+				c.NIC.OutFIFOBytes = *fifo
+				c.NIC.FIFOThresholdBytes = *fifo * 3 / 4
+				c.NIC.FIFOLowWaterBytes = *fifo / 4
+			}
+			if *duq > 0 {
+				c.NIC.DUQueueDepth = *duq
+			}
 		}
+		cells = append(cells, spec)
 	}
 
 	wl := harness.DefaultWorkloads()
 	if *quick {
 		wl = harness.QuickWorkloads()
 	}
-	res := harness.Run(spec, &wl)
+	results := harness.RunCells(cells, *parallel, &wl)
 
-	fmt.Printf("%s on %d nodes (%s)\n", app, *nodes, wl.SizeString(app))
+	for i, app := range apps {
+		if i > 0 {
+			fmt.Println()
+		}
+		report(app, *nodes, &wl, results[i])
+	}
+}
+
+func report(app harness.App, nodes int, wl *harness.Workloads, res harness.Result) {
+	fmt.Printf("%s on %d nodes (%s)\n", app, nodes, wl.SizeString(app))
 	fmt.Printf("execution time: %v\n", res.Elapsed)
 	fmt.Println("time breakdown (all nodes):")
 	total := res.Breakdown.Total()

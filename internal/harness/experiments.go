@@ -47,6 +47,11 @@ var (
 type Config struct {
 	Nodes     int // the paper's system is 16 nodes
 	Workloads Workloads
+	// Workers is the number of simulation cells run concurrently by each
+	// experiment driver (0 = GOMAXPROCS, 1 = serial). Whatever the value,
+	// results are deterministic and identical to a serial run: cells are
+	// independent simulations collected by index.
+	Workers int
 }
 
 // DefaultExperimentConfig mirrors the paper's 16-node system.
@@ -67,7 +72,7 @@ type Table1Row struct {
 
 // Table1 measures sequential (single-node) execution times.
 func Table1(cfg Config) []Table1Row {
-	var rows []Table1Row
+	var cells []Spec
 	for _, a := range AllApps() {
 		nodes := 1
 		if a == OceanNX {
@@ -75,10 +80,14 @@ func Table1(cfg Config) []Table1Row {
 			// two-node time is given, and we follow suit.
 			nodes = 2
 		}
-		res := Run(Spec{App: a, Nodes: nodes, Variant: DefaultVariant(a)}, &cfg.Workloads)
+		cells = append(cells, Spec{App: a, Nodes: nodes, Variant: DefaultVariant(a)})
+	}
+	res := cfg.runCells(cells)
+	var rows []Table1Row
+	for i, a := range AllApps() {
 		rows = append(rows, Table1Row{
 			App: a, API: a.API(), Size: cfg.Workloads.SizeString(a),
-			SeqTime: res.Elapsed, PaperSec: paperSeqTime[a],
+			SeqTime: res[i].Elapsed, PaperSec: paperSeqTime[a],
 		})
 	}
 	return rows
@@ -106,18 +115,35 @@ func Figure3(cfg Config) []Figure3Curve {
 	if cfg.Nodes >= 16 {
 		points = append(points, 16)
 	}
-	var curves []Figure3Curve
+	// One cell per (app, node count); the 1-node run doubles as the base.
+	var cells []Spec
 	for _, a := range figure3Apps() {
 		v := BestVariant(a)
-		base := Run(Spec{App: a, Nodes: 1, Variant: v}, &cfg.Workloads).Elapsed
-		c := Figure3Curve{App: a, Variant: v}
+		cells = append(cells, Spec{App: a, Nodes: 1, Variant: v})
+		for _, n := range points {
+			if n > cfg.Nodes {
+				break
+			}
+			if n > 1 {
+				cells = append(cells, Spec{App: a, Nodes: n, Variant: v})
+			}
+		}
+	}
+	res := cfg.runCells(cells)
+	var curves []Figure3Curve
+	i := 0
+	for _, a := range figure3Apps() {
+		base := res[i].Elapsed
+		i++
+		c := Figure3Curve{App: a, Variant: BestVariant(a)}
 		for _, n := range points {
 			if n > cfg.Nodes {
 				break
 			}
 			el := base
 			if n > 1 {
-				el = Run(Spec{App: a, Nodes: n, Variant: v}, &cfg.Workloads).Elapsed
+				el = res[i].Elapsed
+				i++
 			}
 			c.Nodes = append(c.Nodes, n)
 			c.Speedups = append(c.Speedups, float64(base)/float64(el))
@@ -137,25 +163,35 @@ type Figure4SVMRow struct {
 	Breakdown [5]float64 // normalized to the HLRC total
 }
 
+// figure4Protocols are the bars per application, HLRC (the base) first.
+var figure4Protocols = []svm.Protocol{svm.HLRC, svm.HLRCAU, svm.AURC}
+
 // Figure4SVM compares HLRC, HLRC-AU and AURC on the three SVM
 // applications.
 func Figure4SVM(cfg Config) []Figure4SVMRow {
-	var rows []Figure4SVMRow
-	for _, a := range []App{BarnesSVM, OceanSVM, RadixSVM} {
-		var base float64
-		for _, proto := range []svm.Protocol{svm.HLRC, svm.HLRCAU, svm.AURC} {
+	apps := []App{BarnesSVM, OceanSVM, RadixSVM}
+	var cells []Spec
+	for _, a := range apps {
+		for _, proto := range figure4Protocols {
 			proto := proto
-			res := Run(Spec{App: a, Nodes: cfg.Nodes, Protocol: &proto}, &cfg.Workloads)
-			if proto == svm.HLRC {
-				base = float64(res.Elapsed)
-			}
-			row := Figure4SVMRow{App: a, Protocol: proto, Elapsed: res.Elapsed}
-			total := float64(res.Breakdown.Total())
-			for i := 0; i < 5; i++ {
-				frac := float64(res.Breakdown[i]) / total
-				row.Breakdown[i] = frac * float64(res.Elapsed) / base
+			cells = append(cells, Spec{App: a, Nodes: cfg.Nodes, Protocol: &proto})
+		}
+	}
+	res := cfg.runCells(cells)
+	var rows []Figure4SVMRow
+	i := 0
+	for range apps {
+		base := float64(res[i].Elapsed) // HLRC comes first
+		for _, proto := range figure4Protocols {
+			r := res[i]
+			row := Figure4SVMRow{App: cells[i].App, Protocol: proto, Elapsed: r.Elapsed}
+			total := float64(r.Breakdown.Total())
+			for j := 0; j < 5; j++ {
+				frac := float64(r.Breakdown[j]) / total
+				row.Breakdown[j] = frac * float64(r.Elapsed) / base
 			}
 			rows = append(rows, row)
+			i++
 		}
 	}
 	return rows
@@ -196,10 +232,18 @@ type Figure4AUDURow struct {
 // Figure4AUDU compares automatic vs deliberate update for Radix-VMMC,
 // Ocean-NX and Barnes-NX.
 func Figure4AUDU(cfg Config) []Figure4AUDURow {
+	apps := []App{RadixVMMC, OceanNX, BarnesNX}
+	var cells []Spec
+	for _, a := range apps {
+		cells = append(cells,
+			Spec{App: a, Nodes: cfg.Nodes, Variant: VariantAU},
+			Spec{App: a, Nodes: cfg.Nodes, Variant: VariantDU})
+	}
+	res := cfg.runCells(cells)
 	var rows []Figure4AUDURow
-	for _, a := range []App{RadixVMMC, OceanNX, BarnesNX} {
-		au := Run(Spec{App: a, Nodes: cfg.Nodes, Variant: VariantAU}, &cfg.Workloads).Elapsed
-		du := Run(Spec{App: a, Nodes: cfg.Nodes, Variant: VariantDU}, &cfg.Workloads).Elapsed
+	for i, a := range apps {
+		au := res[2*i].Elapsed
+		du := res[2*i+1].Elapsed
 		note := ""
 		if a == RadixVMMC {
 			note = fmt.Sprintf("paper: AU %.1fx better", paperRadixAUFactor)
@@ -227,18 +271,26 @@ func percentIncrease(base, mod sim.Time) float64 {
 	return (float64(mod) - float64(base)) / float64(base) * 100
 }
 
-// Table2 measures the cost of requiring a kernel trap per message send.
-func Table2(cfg Config) []WhatIfRow {
-	var rows []WhatIfRow
-	for _, a := range AllApps() {
-		if a == DFSSockets {
-			continue // not reported in the paper's Table 2
+// whatIf runs a baseline and a mutated configuration per app (cells
+// interleaved pairwise) and assembles the comparison rows.
+func whatIf(cfg Config, apps []App, nodesFor func(App) int, mutate func(*machine.Config), paper map[App]float64) []WhatIfRow {
+	var cells []Spec
+	for _, a := range apps {
+		n := cfg.Nodes
+		if nodesFor != nil {
+			n = nodesFor(a)
 		}
 		v := DefaultVariant(a)
-		base := Run(Spec{App: a, Nodes: cfg.Nodes, Variant: v}, &cfg.Workloads).Elapsed
-		mod := Run(Spec{App: a, Nodes: cfg.Nodes, Variant: v,
-			Mutate: func(c *machine.Config) { c.SyscallPerSend = true }}, &cfg.Workloads).Elapsed
-		p, ok := paperSyscall[a]
+		cells = append(cells,
+			Spec{App: a, Nodes: n, Variant: v},
+			Spec{App: a, Nodes: n, Variant: v, Mutate: mutate})
+	}
+	res := cfg.runCells(cells)
+	var rows []WhatIfRow
+	for i, a := range apps {
+		base := res[2*i].Elapsed
+		mod := res[2*i+1].Elapsed
+		p, ok := paper[a]
 		if !ok {
 			p = -1
 		}
@@ -246,6 +298,19 @@ func Table2(cfg Config) []WhatIfRow {
 			Percent: percentIncrease(base, mod), Paper: p})
 	}
 	return rows
+}
+
+// Table2 measures the cost of requiring a kernel trap per message send.
+func Table2(cfg Config) []WhatIfRow {
+	var apps []App
+	for _, a := range AllApps() {
+		if a == DFSSockets {
+			continue // not reported in the paper's Table 2
+		}
+		apps = append(apps, a)
+	}
+	return whatIf(cfg, apps, nil,
+		func(c *machine.Config) { c.SyscallPerSend = true }, paperSyscall)
 }
 
 // ---- Table 3: notification usage ----------------------------------------
@@ -262,10 +327,14 @@ type Table3Row struct {
 
 // Table3 counts notifications and total messages at full machine size.
 func Table3(cfg Config) []Table3Row {
-	var rows []Table3Row
+	var cells []Spec
 	for _, a := range AllApps() {
-		res := Run(Spec{App: a, Nodes: cfg.Nodes, Variant: DefaultVariant(a)}, &cfg.Workloads)
-		c := res.Counters
+		cells = append(cells, Spec{App: a, Nodes: cfg.Nodes, Variant: DefaultVariant(a)})
+	}
+	res := cfg.runCells(cells)
+	var rows []Table3Row
+	for i, a := range AllApps() {
+		c := res[i].Counters
 		pct := 0.0
 		if c.MessagesSent > 0 {
 			pct = float64(c.Notifications) / float64(c.MessagesSent) * 100
@@ -283,20 +352,14 @@ func Table3(cfg Config) []Table3Row {
 // Table4 measures the cost of taking an interrupt on every arriving
 // message. Barnes-NX runs on 8 nodes, as in the paper.
 func Table4(cfg Config) []WhatIfRow {
-	var rows []WhatIfRow
-	for _, a := range AllApps() {
-		nodes := cfg.Nodes
-		if a == BarnesNX && nodes > 8 {
-			nodes = 8
-		}
-		v := DefaultVariant(a)
-		base := Run(Spec{App: a, Nodes: nodes, Variant: v}, &cfg.Workloads).Elapsed
-		mod := Run(Spec{App: a, Nodes: nodes, Variant: v,
-			Mutate: func(c *machine.Config) { c.NIC.InterruptPerMessage = true }}, &cfg.Workloads).Elapsed
-		rows = append(rows, WhatIfRow{App: a, Baseline: base, Modified: mod,
-			Percent: percentIncrease(base, mod), Paper: paperInterrupt[a]})
-	}
-	return rows
+	return whatIf(cfg, AllApps(),
+		func(a App) int {
+			if a == BarnesNX && cfg.Nodes > 8 {
+				return 8
+			}
+			return cfg.Nodes
+		},
+		func(c *machine.Config) { c.NIC.InterruptPerMessage = true }, paperInterrupt)
 }
 
 // ---- §4.5.1: automatic-update combining ----------------------------------
@@ -313,28 +376,31 @@ type CombiningRow struct {
 // Combining evaluates AU combining: negligible for the sparse-writing
 // AU applications, about 2x for bulk transfers forced onto AU.
 func Combining(cfg Config) []CombiningRow {
-	var rows []CombiningRow
-	run := func(a App, v Variant, combine bool) sim.Time {
-		return Run(Spec{App: a, Nodes: cfg.Nodes, Variant: v,
-			Mutate: func(c *machine.Config) { c.NIC.Combining = combine }}, &cfg.Workloads).Elapsed
+	apps := []App{RadixVMMC, RadixSVM, OceanSVM, BarnesSVM, DFSSockets}
+	cell := func(a App, combine bool) Spec {
+		return Spec{App: a, Nodes: cfg.Nodes, Variant: VariantAU,
+			Mutate: func(c *machine.Config) { c.NIC.Combining = combine }}
 	}
-	for _, a := range []App{RadixVMMC, RadixSVM, OceanSVM, BarnesSVM} {
-		with := run(a, VariantAU, true)
-		without := run(a, VariantAU, false)
+	var cells []Spec
+	for _, a := range apps {
+		cells = append(cells, cell(a, true), cell(a, false))
+	}
+	res := cfg.runCells(cells)
+	var rows []CombiningRow
+	for i, a := range apps {
+		name := a.String() + " (AU)"
+		note := "paper: <1% effect"
+		if a == DFSSockets {
+			// DFS forced onto automatic update: combining matters enormously.
+			name = "DFS-sockets (forced AU)"
+			note = "paper: ~2x slower uncombined"
+		}
 		rows = append(rows, CombiningRow{
-			Name: a.String() + " (AU)", With: with, Without: without,
-			Percent:   percentIncrease(with, without),
-			PaperNote: "paper: <1% effect",
+			Name: name, With: res[2*i].Elapsed, Without: res[2*i+1].Elapsed,
+			Percent:   percentIncrease(res[2*i].Elapsed, res[2*i+1].Elapsed),
+			PaperNote: note,
 		})
 	}
-	// DFS forced onto automatic update: combining matters enormously.
-	with := run(DFSSockets, VariantAU, true)
-	without := run(DFSSockets, VariantAU, false)
-	rows = append(rows, CombiningRow{
-		Name: "DFS-sockets (forced AU)", With: with, Without: without,
-		Percent:   percentIncrease(with, without),
-		PaperNote: "paper: ~2x slower uncombined",
-	})
 	return rows
 }
 
@@ -352,16 +418,23 @@ type FIFORow struct {
 // FIFO evaluates shrinking the outgoing FIFO from 32 KB to 1 KB; the
 // paper found no detectable difference.
 func FIFO(cfg Config) []FIFORow {
-	var rows []FIFORow
-	for _, a := range []App{RadixVMMC, RadixSVM, OceanSVM, DFSSockets} {
+	apps := []App{RadixVMMC, RadixSVM, OceanSVM, DFSSockets}
+	var cells []Spec
+	for _, a := range apps {
 		v := DefaultVariant(a)
-		large := Run(Spec{App: a, Nodes: cfg.Nodes, Variant: v}, &cfg.Workloads)
-		small := Run(Spec{App: a, Nodes: cfg.Nodes, Variant: v,
-			Mutate: func(c *machine.Config) {
-				c.NIC.OutFIFOBytes = 1024
-				c.NIC.FIFOThresholdBytes = 768
-				c.NIC.FIFOLowWaterBytes = 256
-			}}, &cfg.Workloads)
+		cells = append(cells,
+			Spec{App: a, Nodes: cfg.Nodes, Variant: v},
+			Spec{App: a, Nodes: cfg.Nodes, Variant: v,
+				Mutate: func(c *machine.Config) {
+					c.NIC.OutFIFOBytes = 1024
+					c.NIC.FIFOThresholdBytes = 768
+					c.NIC.FIFOLowWaterBytes = 256
+				}})
+	}
+	res := cfg.runCells(cells)
+	var rows []FIFORow
+	for i, a := range apps {
+		large, small := res[2*i], res[2*i+1]
 		rows = append(rows, FIFORow{App: a, Large: large.Elapsed, Small: small.Elapsed,
 			Percent: percentIncrease(large.Elapsed, small.Elapsed), HighWater: large.FIFOHigh})
 	}
@@ -382,12 +455,19 @@ type DUQueueRow struct {
 // depth of 1, using the SVM applications (small transfers), as the
 // paper did; the effect was within 1%.
 func DUQueue(cfg Config) []DUQueueRow {
+	apps := []App{BarnesSVM, OceanSVM, RadixSVM}
+	proto := svm.HLRC // deliberate-update-based protocol
+	var cells []Spec
+	for _, a := range apps {
+		cells = append(cells,
+			Spec{App: a, Nodes: cfg.Nodes, Protocol: &proto},
+			Spec{App: a, Nodes: cfg.Nodes, Protocol: &proto,
+				Mutate: func(c *machine.Config) { c.NIC.DUQueueDepth = 2 }})
+	}
+	res := cfg.runCells(cells)
 	var rows []DUQueueRow
-	for _, a := range []App{BarnesSVM, OceanSVM, RadixSVM} {
-		proto := svm.HLRC // deliberate-update-based protocol
-		d1 := Run(Spec{App: a, Nodes: cfg.Nodes, Protocol: &proto}, &cfg.Workloads).Elapsed
-		d2 := Run(Spec{App: a, Nodes: cfg.Nodes, Protocol: &proto,
-			Mutate: func(c *machine.Config) { c.NIC.DUQueueDepth = 2 }}, &cfg.Workloads).Elapsed
+	for i, a := range apps {
+		d1, d2 := res[2*i].Elapsed, res[2*i+1].Elapsed
 		rows = append(rows, DUQueueRow{App: a, Depth1: d1, Depth2: d2,
 			Percent: percentIncrease(d2, d1)})
 	}
@@ -412,14 +492,20 @@ type PerPacketRow struct {
 
 // InterruptPerPacket measures both interrupt designs per application.
 func InterruptPerPacket(cfg Config) []PerPacketRow {
-	var rows []PerPacketRow
+	var cells []Spec
 	for _, a := range AllApps() {
 		v := DefaultVariant(a)
-		base := Run(Spec{App: a, Nodes: cfg.Nodes, Variant: v}, &cfg.Workloads).Elapsed
-		msg := Run(Spec{App: a, Nodes: cfg.Nodes, Variant: v,
-			Mutate: func(c *machine.Config) { c.NIC.InterruptPerMessage = true }}, &cfg.Workloads).Elapsed
-		pkt := Run(Spec{App: a, Nodes: cfg.Nodes, Variant: v,
-			Mutate: func(c *machine.Config) { c.NIC.InterruptPerPacket = true }}, &cfg.Workloads).Elapsed
+		cells = append(cells,
+			Spec{App: a, Nodes: cfg.Nodes, Variant: v},
+			Spec{App: a, Nodes: cfg.Nodes, Variant: v,
+				Mutate: func(c *machine.Config) { c.NIC.InterruptPerMessage = true }},
+			Spec{App: a, Nodes: cfg.Nodes, Variant: v,
+				Mutate: func(c *machine.Config) { c.NIC.InterruptPerPacket = true }})
+	}
+	res := cfg.runCells(cells)
+	var rows []PerPacketRow
+	for i, a := range AllApps() {
+		base, msg, pkt := res[3*i].Elapsed, res[3*i+1].Elapsed, res[3*i+2].Elapsed
 		rows = append(rows, PerPacketRow{App: a, Baseline: base,
 			PerMessage: msg, PerPacket: pkt,
 			MsgPct: percentIncrease(base, msg), PktPct: percentIncrease(base, pkt)})

@@ -1,0 +1,56 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunCells executes independent simulation cells on a pool of workers
+// and returns their results indexed exactly like cells. Each cell builds
+// its own sim.Engine and machine and shares no mutable state with any
+// other, so the grid is embarrassingly parallel; results are written by
+// cell index, which makes the output deterministic and byte-identical to
+// a serial run regardless of worker count or completion order.
+//
+// workers <= 0 selects GOMAXPROCS. A single worker degenerates to the
+// plain serial loop (no goroutines), which doubles as the baseline for
+// the parallel-equals-serial determinism tests.
+func RunCells(cells []Spec, workers int, w *Workloads) []Result {
+	results := make([]Result, len(cells))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		for i := range cells {
+			results[i] = Run(cells[i], w)
+		}
+		return results
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i >= int64(len(cells)) {
+					return
+				}
+				results[i] = Run(cells[i], w)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runCells runs cells under the sweep's configured worker count.
+func (cfg *Config) runCells(cells []Spec) []Result {
+	return RunCells(cells, cfg.Workers, &cfg.Workloads)
+}

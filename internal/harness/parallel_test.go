@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelMatchesSerial is the paper-fidelity invariant of the
+// worker pool: a grid run on 4 workers must produce exactly the rows a
+// serial run produces. Each cell builds its own engine and machine, and
+// results are collected by cell index, so worker count and completion
+// order must be unobservable.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := DefaultExperimentConfig()
+	serial.Nodes = 4
+	serial.Workers = 1
+	serial.Workloads = QuickWorkloads()
+
+	par := serial
+	par.Workers = 4
+
+	t.Run("table1", func(t *testing.T) {
+		want := Table1(serial)
+		got := Table1(par)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("parallel Table1 diverged from serial:\ngot  %+v\nwant %+v", got, want)
+		}
+	})
+	t.Run("figure3", func(t *testing.T) {
+		want := Figure3(serial)
+		got := Figure3(par)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("parallel Figure3 diverged from serial:\ngot  %+v\nwant %+v", got, want)
+		}
+	})
+}
+
+// TestRunCellsOrdering checks the result slice lines up with the cell
+// slice even when workers race, using cells cheap enough to interleave.
+func TestRunCellsOrdering(t *testing.T) {
+	wl := QuickWorkloads()
+	apps := []App{RadixVMMC, OceanNX, RadixVMMC, OceanNX, RadixVMMC, OceanNX}
+	var cells []Spec
+	for i, app := range apps {
+		cells = append(cells, Spec{App: app, Nodes: 2 + 2*(i%2), Variant: DefaultVariant(app)})
+	}
+	want := RunCells(cells, 1, &wl)
+	got := RunCells(cells, 3, &wl)
+	for i := range cells {
+		if got[i].Elapsed != want[i].Elapsed || got[i].Counters != want[i].Counters {
+			t.Errorf("cell %d (%v on %d nodes): parallel result diverged", i, cells[i].App, cells[i].Nodes)
+		}
+	}
+}
+
+// BenchmarkParallelGrid measures wall-clock for a representative
+// experiment grid at several worker counts. On a multicore machine the
+// Workers=4 case should approach a 4x speedup over Workers=1 (cells are
+// fully independent); with GOMAXPROCS=1 the three track each other.
+func BenchmarkParallelGrid(b *testing.B) {
+	wl := QuickWorkloads()
+	var cells []Spec
+	for _, app := range []App{BarnesSVM, OceanSVM, RadixSVM, RadixVMMC, BarnesNX, OceanNX, DFSSockets, RenderSockets} {
+		for _, n := range []int{2, 4} {
+			cells = append(cells, Spec{App: app, Nodes: n, Variant: DefaultVariant(app)})
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "serial", 2: "workers2", 4: "workers4"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				RunCells(cells, workers, &wl)
+			}
+		})
+	}
+}

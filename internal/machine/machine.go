@@ -77,10 +77,6 @@ type Machine struct {
 	Nodes []*Node
 	Cfg   Config
 	Acct  *stats.Machine
-
-	// cpus maps processes to their accounting contexts; unbound
-	// processes account against their node's application context.
-	cpus map[*sim.Proc]*CPU
 }
 
 // New builds and starts a machine: all nodes, NICs and the backplane.
@@ -101,7 +97,6 @@ func New(cfg Config) *Machine {
 		Net:  mesh.New(e, cfg.Mesh),
 		Cfg:  cfg,
 		Acct: stats.NewMachine(cfg.Nodes),
-		cpus: make(map[*sim.Proc]*CPU),
 	}
 	// Attach inert sinks for unpopulated mesh positions.
 	for i := cfg.Nodes; i < m.Net.Nodes(); i++ {
@@ -153,15 +148,17 @@ func (m *Machine) RunParallel(name string, body func(nd *Node, p *sim.Proc)) sim
 }
 
 // BindCPU associates a process with an accounting context. Library code
-// resolves contexts with Node.CPUFor.
-func (m *Machine) BindCPU(p *sim.Proc, c *CPU) { m.cpus[p] = c }
+// resolves contexts with Node.CPUFor. The binding rides on the process
+// itself rather than a machine-wide map: CPUFor sits on the store/load
+// hot path, where a map hash per memory operation is measurable.
+func (m *Machine) BindCPU(p *sim.Proc, c *CPU) { p.SetContext(c) }
 
 // CPUFor returns the accounting context for p: a bound handler context,
 // or this node's application context. A nil p (setup time) also yields
 // the application context.
 func (nd *Node) CPUFor(p *sim.Proc) *CPU {
 	if p != nil {
-		if c, ok := nd.M.cpus[p]; ok {
+		if c, ok := p.Context().(*CPU); ok {
 			return c
 		}
 	}

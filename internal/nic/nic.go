@@ -113,6 +113,13 @@ type NIC struct {
 	opt map[int]*OPTEntry
 	ipt map[int]*IPTEntry
 
+	// optCache short-circuits the OPT map for the last page touched.
+	// Stores exhibit strong page locality, and Outgoing runs once per
+	// simulated store, so this converts most lookups into one compare.
+	optCacheVPN int
+	optCacheEnt *OPTEntry
+	optCacheOK  bool
+
 	// Outgoing side.
 	duQueue   *sim.Queue[*duRequest]
 	duSlots   int
@@ -203,15 +210,24 @@ func (n *NIC) MapOutgoing(vpn int, dst mesh.NodeID, dstPage int, au, combine, in
 		Combine:   combine,
 		Interrupt: interrupt,
 	}
+	n.optCacheOK = false
 }
 
 // UnmapOutgoing removes the OPT entry for vpn.
-func (n *NIC) UnmapOutgoing(vpn int) { delete(n.opt, vpn) }
+func (n *NIC) UnmapOutgoing(vpn int) {
+	delete(n.opt, vpn)
+	n.optCacheOK = false
+}
 
-// Outgoing looks up the OPT entry for vpn.
+// Outgoing looks up the OPT entry for vpn. Misses are cached too, so a
+// run of stores to an unmapped page costs one map probe total.
 func (n *NIC) Outgoing(vpn int) (*OPTEntry, bool) {
-	ent, ok := n.opt[vpn]
-	return ent, ok
+	if n.optCacheOK && vpn == n.optCacheVPN {
+		return n.optCacheEnt, n.optCacheEnt != nil
+	}
+	ent := n.opt[vpn]
+	n.optCacheVPN, n.optCacheEnt, n.optCacheOK = vpn, ent, true
+	return ent, ent != nil
 }
 
 // SetIncoming installs an IPT entry for local page vpn (exported page).

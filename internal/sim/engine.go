@@ -1,60 +1,78 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // event is a single entry in the engine's calendar. Exactly one of fn and
-// proc is set: fn events run inline in engine context; proc events resume
-// a parked process.
+// proc is set: fn events run inline in whatever goroutine owns the engine
+// (no scheduler round-trip); proc events transfer control to a parked
+// process.
 type event struct {
 	t        Time
 	seq      uint64
 	fn       func()
 	proc     *Proc
 	canceled bool
-	index    int
 }
 
-type eventHeap []*event
+// invalidSeq marks a recycled event so a stale Timer can detect that its
+// event already fired (seq values are assigned monotonically and never
+// reach this sentinel in practice).
+const invalidSeq = ^uint64(0)
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// less orders events by (time, scheduling order): the determinism
+// invariant every experiment depends on.
+func less(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Engine is a deterministic discrete-event simulator. The zero value is
 // not usable; construct with NewEngine.
+//
+// Three structural choices keep the event hot path cheap:
+//
+//   - The calendar is split in two. Future events live in a hand-rolled
+//     binary heap; events due at the current instant (zero-delay
+//     callbacks, condition signals, resource handoffs — the overwhelmingly
+//     common case) go to a plain FIFO slice, bypassing the O(log n) heap.
+//     Because seq numbers increase monotonically and virtual time never
+//     moves backwards, merging the two by (t, seq) at pop time reproduces
+//     exactly the order a single heap would produce, so the fast path
+//     cannot change any simulation outcome.
+//
+//   - Fired and canceled events are recycled through a freelist, so a
+//     steady-state simulation allocates no event structures.
+//
+//   - There is no dedicated scheduler goroutine at run time. Engine
+//     ownership is a token: the goroutine that yields (a parking process,
+//     or the Run caller) runs the event loop itself and hands control
+//     directly to the next process. A process-to-process switch costs one
+//     channel handoff instead of two, and a process that pops its own
+//     wakeup (or any fn event) continues with no handoff at all. Exactly
+//     one goroutine owns the engine at any instant, so the simulation
+//     stays logically single-threaded and bit-for-bit deterministic.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []*event // binary heap ordered by less
+	nowq   []*event // FIFO of events with t == now, in seq order
+	nowqAt int      // index of the FIFO head within nowq
 
-	// parked is signaled by a proc when it yields control back to the
-	// engine (by sleeping, blocking, or terminating).
-	parked chan struct{}
+	// free is the event freelist.
+	free []*event
+
+	// limit bounds event timestamps during RunUntil.
+	limit   Time
+	limited bool
+
+	// mainResume wakes the Run/RunUntil caller when the calendar drains
+	// or Stop takes effect while a process owns the engine.
+	mainResume chan struct{}
+	// killAck is the Shutdown handshake: each killed process signals it
+	// as its goroutine unwinds.
+	killAck chan struct{}
 
 	live    int // procs spawned and not yet finished
 	blocked int // procs parked with no scheduled wake (waiting on a Cond)
@@ -69,7 +87,10 @@ type killSignal struct{}
 
 // NewEngine returns an empty simulation at time zero.
 func NewEngine() *Engine {
-	return &Engine{parked: make(chan struct{})}
+	return &Engine{
+		mainResume: make(chan struct{}),
+		killAck:    make(chan struct{}),
+	}
 }
 
 // Now reports the current virtual time.
@@ -84,11 +105,182 @@ func (e *Engine) Live() int { return e.live }
 // After Run returns, a nonzero Blocked count indicates a deadlock.
 func (e *Engine) Blocked() int { return e.blocked }
 
-func (e *Engine) push(ev *event) *event {
+// alloc takes an event from the freelist or allocates a fresh one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a fired or canceled event to the freelist, dropping
+// its references so closures and processes become collectible.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.proc = nil
+	ev.canceled = false
+	ev.seq = invalidSeq
+	e.free = append(e.free, ev)
+}
+
+// push stamps ev with the next seq and files it on the calendar: the
+// same-instant FIFO when it is due now, the heap otherwise.
+func (e *Engine) push(ev *event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	if ev.t == e.now {
+		e.nowq = append(e.nowq, ev)
+		return
+	}
+	e.heapPush(ev)
+}
+
+// heapPush inserts ev into the binary heap (sift up).
+func (e *Engine) heapPush(ev *event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.events = h
+}
+
+// heapPop removes and returns the earliest heap event (sift down).
+func (e *Engine) heapPop() *event {
+	h := e.events
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	e.events = h
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && less(h[right], h[left]) {
+			min = right
+		}
+		if !less(h[min], h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
+}
+
+// next removes and returns the next live event, merging the same-instant
+// FIFO with the heap by (t, seq) and discarding canceled entries. Events
+// past the RunUntil limit are left in place and nil is returned.
+func (e *Engine) next() *event {
+	for {
+		var ev *event
+		fromFIFO := false
+		if e.nowqAt < len(e.nowq) {
+			// FIFO entries carry t == now <= any heap entry's t; a heap
+			// entry ties only at t == now, where seq decides.
+			f := e.nowq[e.nowqAt]
+			if len(e.events) == 0 || less(f, e.events[0]) {
+				ev, fromFIFO = f, true
+			} else {
+				ev = e.events[0]
+			}
+		} else if len(e.events) > 0 {
+			ev = e.events[0]
+		} else {
+			return nil
+		}
+		if e.limited && ev.t > e.limit {
+			return nil
+		}
+		if fromFIFO {
+			e.nowq[e.nowqAt] = nil
+			e.nowqAt++
+			if e.nowqAt == len(e.nowq) {
+				e.nowq = e.nowq[:0]
+				e.nowqAt = 0
+			}
+		} else {
+			e.heapPop()
+		}
+		if ev.canceled {
+			e.recycle(ev)
+			continue
+		}
+		return ev
+	}
+}
+
+// schedule runs the event loop in the calling process's goroutine, which
+// must own the engine. It returns when an event resumes self — either
+// popped directly (no handoff) or, after ownership was transferred away,
+// when another owner signals self's resume channel. On drain or stop it
+// wakes the Run caller first.
+func (e *Engine) schedule(self *Proc) {
+	for !e.stopped {
+		ev := e.next()
+		if ev == nil {
+			break
+		}
+		e.now = ev.t
+		if ev.fn != nil {
+			fn := ev.fn
+			e.recycle(ev)
+			fn()
+			continue
+		}
+		q := ev.proc
+		e.recycle(ev)
+		if q == self {
+			// Self-wakeup: continue without any goroutine switch.
+			return
+		}
+		// Hand the engine to q, then sleep until self's next event pops.
+		q.resume <- struct{}{}
+		<-self.resume
+		return
+	}
+	// Calendar drained (or Stop): hand control back to the Run caller,
+	// then sleep like any parked process.
+	e.mainResume <- struct{}{}
+	<-self.resume
+}
+
+// scheduleExit keeps the event loop alive as a process goroutine dies:
+// it transfers engine ownership to the next runnable process (running any
+// intervening fn events inline) or, if the calendar is done, to the Run
+// caller. Unlike schedule it never waits — the caller is exiting.
+func (e *Engine) scheduleExit() {
+	for !e.stopped {
+		ev := e.next()
+		if ev == nil {
+			break
+		}
+		e.now = ev.t
+		if ev.fn != nil {
+			fn := ev.fn
+			e.recycle(ev)
+			fn()
+			continue
+		}
+		q := ev.proc
+		e.recycle(ev)
+		q.resume <- struct{}{}
+		return
+	}
+	e.mainResume <- struct{}{}
 }
 
 // At schedules fn to run in engine context at time t. Scheduling in the
@@ -97,7 +289,10 @@ func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	e.push(&event{t: t, fn: fn})
+	ev := e.alloc()
+	ev.t = t
+	ev.fn = fn
+	e.push(ev)
 }
 
 // After schedules fn to run in engine context d nanoseconds from now.
@@ -130,14 +325,25 @@ func (e *Engine) SpawnAt(t Time, name string, body func(p *Proc)) *Proc {
 			}
 			p.finished = true
 			e.live--
-			e.parked <- struct{}{}
+			if p.killed {
+				// Shutdown handshake: the killer is waiting, not the
+				// event loop.
+				e.killAck <- struct{}{}
+				return
+			}
+			// Normal completion: this goroutine owns the engine. Keep the
+			// loop going as it unwinds.
+			e.scheduleExit()
 		}()
 		if p.killed {
 			panic(killSignal{})
 		}
 		body(p)
 	}()
-	e.push(&event{t: t, proc: p})
+	ev := e.alloc()
+	ev.t = t
+	ev.proc = p
+	e.push(ev)
 	return p
 }
 
@@ -154,10 +360,13 @@ func (e *Engine) Shutdown() {
 		}
 		p.killed = true
 		p.resume <- struct{}{}
-		<-e.parked
+		<-e.killAck
 	}
 	e.all = nil
 	e.events = nil
+	e.nowq = nil
+	e.nowqAt = 0
+	e.free = nil
 }
 
 // wake schedules p to resume at time t. p must be parked.
@@ -165,84 +374,104 @@ func (e *Engine) wake(p *Proc, t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: waking %s at %v before now %v", p.name, t, e.now))
 	}
-	e.push(&event{t: t, proc: p})
+	ev := e.alloc()
+	ev.t = t
+	ev.proc = p
+	e.push(ev)
+}
+
+// run is the shared Run/RunUntil body: the caller's goroutine owns the
+// engine until it transfers to a process, after which ownership wanders
+// from process to process and returns via mainResume on drain or stop.
+func (e *Engine) run() {
+	for !e.stopped {
+		ev := e.next()
+		if ev == nil {
+			return
+		}
+		e.now = ev.t
+		if ev.fn != nil {
+			fn := ev.fn
+			e.recycle(ev)
+			fn()
+			continue
+		}
+		q := ev.proc
+		e.recycle(ev)
+		q.resume <- struct{}{}
+		<-e.mainResume
+		// Control only returns here when the simulation stopped or
+		// drained; re-checking the loop condition re-derives which.
+	}
 }
 
 // Run executes events until the calendar is empty or Stop is called.
-// It returns the final virtual time. If processes remain blocked on
-// conditions when the calendar drains, Run returns anyway; callers can
-// inspect Blocked to detect deadlock.
+// It returns the final virtual time. A Stop from a previous Run or
+// RunUntil is cleared on entry, so a stopped engine can be resumed.
+// If processes remain blocked on conditions when the calendar drains,
+// Run returns anyway; callers can inspect Blocked to detect deadlock.
 func (e *Engine) Run() Time {
 	if e.running {
 		panic("sim: Run called reentrantly")
 	}
 	e.running = true
+	e.stopped = false
+	e.limited = false
 	defer func() { e.running = false }()
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.t
-		if ev.fn != nil {
-			ev.fn()
-			continue
-		}
-		// Resume the process and wait for it to yield back.
-		ev.proc.resume <- struct{}{}
-		<-e.parked
-	}
+	e.run()
 	return e.now
 }
 
 // RunUntil executes events with timestamps <= deadline and then stops,
-// setting the clock to deadline if the simulation ran dry earlier.
+// setting the clock to deadline if the simulation ran dry earlier. Like
+// Run, it clears a leftover Stop on entry; if Stop is called while
+// running, the clock is left where the last event put it.
 func (e *Engine) RunUntil(deadline Time) Time {
-	for len(e.events) > 0 && !e.stopped {
-		if e.events[0].t > deadline {
-			break
-		}
-		ev := heap.Pop(&e.events).(*event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.t
-		if ev.fn != nil {
-			ev.fn()
-			continue
-		}
-		ev.proc.resume <- struct{}{}
-		<-e.parked
+	if e.running {
+		panic("sim: RunUntil called reentrantly")
 	}
-	if e.now < deadline {
+	e.running = true
+	e.stopped = false
+	e.limit = deadline
+	e.limited = true
+	defer func() { e.running = false; e.limited = false }()
+	e.run()
+	if !e.stopped && e.now < deadline {
 		e.now = deadline
 	}
 	return e.now
 }
 
-// Stop makes Run return after the current event completes.
+// Stop makes Run return after the current event completes. The engine is
+// not dead: the next Run or RunUntil clears the stop and continues from
+// the pending calendar.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Timer is a cancelable scheduled callback.
 type Timer struct {
-	ev *event
+	ev  *event
+	seq uint64
 }
 
 // NewTimer schedules fn to run after d; the returned Timer can cancel it.
 func (e *Engine) NewTimer(d Time, fn func()) *Timer {
-	ev := &event{t: e.now + d, fn: fn}
+	ev := e.alloc()
+	ev.t = e.now + d
+	ev.fn = fn
 	e.push(ev)
-	return &Timer{ev: ev}
+	return &Timer{ev: ev, seq: ev.seq}
 }
 
 // Cancel prevents the timer from firing. Canceling an already-fired or
 // already-canceled timer is a no-op. It reports whether the cancellation
-// took effect.
+// took effect. The callback is released immediately, so anything its
+// closure captures does not stay live until the dead event is popped.
 func (t *Timer) Cancel() bool {
-	if t.ev == nil || t.ev.canceled {
+	if t.ev == nil || t.ev.seq != t.seq || t.ev.canceled {
 		return false
 	}
 	t.ev.canceled = true
+	t.ev.fn = nil
 	return true
 }
 

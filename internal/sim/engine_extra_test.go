@@ -1,0 +1,242 @@
+package sim
+
+import "testing"
+
+// A Stop from one Run must not leak into the next: Run clears it on
+// entry, so a stopped engine resumes from its pending calendar.
+func TestStopThenRunResumes(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for i := 1; i <= 4; i++ {
+		e.At(Time(i*10), func() { fired = append(fired, e.Now()) })
+	}
+	e.At(20, func() { e.Stop() })
+	e.Run()
+	if len(fired) != 2 {
+		t.Fatalf("ran %d events before Stop, want 2 (fired %v)", len(fired), fired)
+	}
+	// Without the stopped reset this second Run would return immediately,
+	// silently dropping the rest of the calendar.
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("ran %d events total after resume, want 4 (fired %v)", len(fired), fired)
+	}
+	if e.Now() != 40 {
+		t.Fatalf("final time %v, want 40", e.Now())
+	}
+}
+
+func TestStopThenRunUntilResumes(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 4; i++ {
+		e.At(Time(i*10), func() { count++ })
+	}
+	e.At(10, func() { e.Stop() })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("count = %d before resume, want 1", count)
+	}
+	if got := e.RunUntil(30); got != 30 {
+		t.Fatalf("RunUntil returned %v, want 30", got)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d after RunUntil(30), want 3", count)
+	}
+}
+
+// RunUntil with a deadline before the first event must run nothing and
+// still advance the clock to the deadline.
+func TestRunUntilBeforeFirstEvent(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(100, func() { fired = true })
+	if got := e.RunUntil(40); got != 40 {
+		t.Fatalf("RunUntil returned %v, want 40", got)
+	}
+	if fired {
+		t.Fatal("event at 100 fired under RunUntil(40)")
+	}
+	e.Run()
+	if !fired || e.Now() != 100 {
+		t.Fatalf("resumed run: fired=%v now=%v, want true/100", fired, e.Now())
+	}
+}
+
+func TestRunUntilEmptyCalendar(t *testing.T) {
+	e := NewEngine()
+	if got := e.RunUntil(25); got != 25 {
+		t.Fatalf("RunUntil on empty calendar returned %v, want 25", got)
+	}
+}
+
+// When a cancel races the timer at the very instant it is due, seq
+// order decides, exactly like any same-time tie: a cancel scheduled
+// before the timer wins; one scheduled after finds it already fired.
+func TestTimerCancelSameInstant(t *testing.T) {
+	t.Run("cancel-scheduled-first", func(t *testing.T) {
+		e := NewEngine()
+		fired := false
+		var tm *Timer
+		e.At(40, func() {
+			e.At(50, func() {
+				if !tm.Cancel() {
+					t.Error("earlier-scheduled cancel returned false at the firing instant")
+				}
+			})
+			tm = e.NewTimer(10, func() { fired = true })
+		})
+		e.Run()
+		if fired {
+			t.Fatal("timer fired although an earlier same-instant event canceled it")
+		}
+	})
+	t.Run("timer-scheduled-first", func(t *testing.T) {
+		e := NewEngine()
+		fired := false
+		var tm *Timer
+		e.At(40, func() {
+			tm = e.NewTimer(10, func() { fired = true })
+			e.At(50, func() {
+				if tm.Cancel() {
+					t.Error("cancel after the timer's same-instant slot returned true")
+				}
+			})
+		})
+		e.Run()
+		if !fired {
+			t.Fatal("timer did not fire although it preceded the cancel in seq order")
+		}
+	})
+}
+
+// A Timer handle is stale once its event has fired; Cancel must then be
+// a no-op even though the underlying event struct has been recycled and
+// may already belong to a different, live timer.
+func TestTimerCancelStaleAfterRecycle(t *testing.T) {
+	e := NewEngine()
+	firstFired, secondFired := false, false
+	tm1 := e.NewTimer(10, func() { firstFired = true })
+	e.At(20, func() {
+		e.NewTimer(10, func() { secondFired = true })
+		if tm1.Cancel() {
+			t.Error("Cancel on a fired timer returned true")
+		}
+	})
+	e.Run()
+	if !firstFired || !secondFired {
+		t.Fatalf("fired = %v/%v, want both: stale Cancel hit the recycled event", firstFired, secondFired)
+	}
+}
+
+// Cancel must drop the callback immediately, not when the dead event is
+// eventually popped — a canceled long-delay timer should not pin its
+// closure's captures for the rest of the simulation.
+func TestTimerCancelReleasesCallback(t *testing.T) {
+	e := NewEngine()
+	big := make([]byte, 1<<20)
+	tm := e.NewTimer(1_000_000, func() { _ = big })
+	if !tm.Cancel() {
+		t.Fatal("Cancel returned false on a pending timer")
+	}
+	if tm.ev.fn != nil {
+		t.Fatal("canceled timer still holds its callback closure")
+	}
+	e.Run()
+}
+
+// Shutdown must unwind processes parked on a Cond nobody will signal,
+// processes queued on a held Resource, and never-started spawns alike.
+func TestShutdownWithBlockedWaiters(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	r := NewResource(e)
+	for i := 0; i < 3; i++ {
+		e.Spawn("cond-waiter", func(p *Proc) {
+			c.Wait(p)
+			t.Error("cond waiter resumed after shutdown")
+		})
+	}
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(1_000_000)
+		r.Release()
+	})
+	e.Spawn("resource-waiter", func(p *Proc) {
+		p.Sleep(1)
+		r.Acquire(p)
+		t.Error("resource waiter acquired after shutdown")
+	})
+	e.RunUntil(100)
+	if e.Blocked() == 0 {
+		t.Fatal("test setup: expected blocked waiters at the deadline")
+	}
+	e.Stop()
+	e.Shutdown()
+	if e.Live() != 0 {
+		t.Fatalf("live = %d after Shutdown, want 0 (unfinished: %v)", e.Live(), e.UnfinishedNames())
+	}
+}
+
+// Events due at the current instant bypass the heap; the freelist keeps
+// steady-state event traffic allocation-free. This benchmark exercises
+// both paths plus process park/resume, the three costs that dominate
+// real simulations.
+func BenchmarkEngineEvents(b *testing.B) {
+	b.Run("fn-chain", func(b *testing.B) {
+		b.ReportAllocs()
+		e := NewEngine()
+		n := 0
+		var step func()
+		step = func() {
+			if n < b.N {
+				n++
+				e.After(1, step)
+			}
+		}
+		e.After(1, step)
+		e.Run()
+	})
+	b.Run("fn-same-instant", func(b *testing.B) {
+		b.ReportAllocs()
+		e := NewEngine()
+		n := 0
+		var step func()
+		step = func() {
+			if n < b.N {
+				n++
+				e.After(0, step)
+			}
+		}
+		e.After(0, step)
+		e.Run()
+	})
+	b.Run("proc-sleep", func(b *testing.B) {
+		b.ReportAllocs()
+		e := NewEngine()
+		e.Spawn("sleeper", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Sleep(1)
+			}
+		})
+		e.Run()
+	})
+	b.Run("proc-pingpong", func(b *testing.B) {
+		b.ReportAllocs()
+		e := NewEngine()
+		q1, q2 := NewQueue[int](e), NewQueue[int](e)
+		e.Spawn("ping", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				q1.Push(i)
+				q2.Pop(p)
+			}
+		})
+		e.Spawn("pong", func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				q1.Pop(p)
+				q2.Push(i)
+			}
+		})
+		e.Run()
+	})
+}

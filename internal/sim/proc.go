@@ -10,7 +10,16 @@ type Proc struct {
 	resume   chan struct{}
 	finished bool
 	killed   bool
+	ctx      any
 }
+
+// SetContext attaches an arbitrary client value to the process. The
+// machine layer uses it to bind accounting contexts without a map lookup
+// on every memory operation.
+func (p *Proc) SetContext(v any) { p.ctx = v }
+
+// Context returns the value set with SetContext, or nil.
+func (p *Proc) Context() any { return p.ctx }
 
 // Name reports the diagnostic name given at Spawn.
 func (p *Proc) Name() string { return p.name }
@@ -23,10 +32,12 @@ func (p *Proc) Now() Time { return p.e.now }
 
 // park yields control to the engine and blocks until some event resumes
 // this process. The caller must have arranged for a wakeup (a scheduled
-// event or registration on a Cond) or the process deadlocks.
+// event or registration on a Cond) or the process deadlocks. The yielding
+// goroutine runs the event loop itself (see Engine.schedule), so parking
+// costs at most one channel handoff — and none at all when this process's
+// own wakeup is the next event.
 func (p *Proc) park() {
-	p.e.parked <- struct{}{}
-	<-p.resume
+	p.e.schedule(p)
 	if p.killed {
 		panic(killSignal{})
 	}

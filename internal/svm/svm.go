@@ -52,6 +52,12 @@ func (pr Protocol) String() string {
 	}
 }
 
+// MarshalJSON renders the protocol by name, for machine-readable
+// experiment output.
+func (pr Protocol) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + pr.String() + `"`), nil
+}
+
 // UsesAU reports whether the protocol binds written pages for
 // automatic update.
 func (pr Protocol) UsesAU() bool { return pr != HLRC }
