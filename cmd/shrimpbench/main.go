@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"shrimp/internal/harness"
+	"shrimp/internal/prof"
 )
 
 func main() {
@@ -32,7 +33,17 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"simulation cells to run concurrently (1 = serial; results are identical either way)")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per table/figure row instead of text")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	blockProf := flag.String("blockprofile", "", "write a blocking profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf, *blockProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cfg := harness.DefaultExperimentConfig()
 	cfg.Nodes = *nodes

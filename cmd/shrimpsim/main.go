@@ -25,6 +25,7 @@ import (
 
 	"shrimp/internal/harness"
 	"shrimp/internal/machine"
+	"shrimp/internal/prof"
 	"shrimp/internal/stats"
 	"shrimp/internal/svm"
 )
@@ -53,7 +54,17 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"apps to simulate concurrently when several are named")
 	quick := flag.Bool("quick", false, "use tiny problem sizes")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	blockProf := flag.String("blockprofile", "", "write a blocking profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf, *blockProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shrimpsim: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	var apps []harness.App
 	for _, name := range strings.Split(*appNames, ",") {

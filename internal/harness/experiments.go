@@ -72,7 +72,7 @@ type Table1Row struct {
 
 // Table1 measures sequential (single-node) execution times.
 func Table1(cfg Config) []Table1Row {
-	var cells []Spec
+	cells := make([]Spec, 0, len(AllApps()))
 	for _, a := range AllApps() {
 		nodes := 1
 		if a == OceanNX {
@@ -83,7 +83,7 @@ func Table1(cfg Config) []Table1Row {
 		cells = append(cells, Spec{App: a, Nodes: nodes, Variant: DefaultVariant(a)})
 	}
 	res := cfg.runCells(cells)
-	var rows []Table1Row
+	rows := make([]Table1Row, 0, len(AllApps()))
 	for i, a := range AllApps() {
 		rows = append(rows, Table1Row{
 			App: a, API: a.API(), Size: cfg.Workloads.SizeString(a),
@@ -116,7 +116,7 @@ func Figure3(cfg Config) []Figure3Curve {
 		points = append(points, 16)
 	}
 	// One cell per (app, node count); the 1-node run doubles as the base.
-	var cells []Spec
+	cells := make([]Spec, 0, len(figure3Apps())*len(points))
 	for _, a := range figure3Apps() {
 		v := BestVariant(a)
 		cells = append(cells, Spec{App: a, Nodes: 1, Variant: v})
@@ -130,7 +130,7 @@ func Figure3(cfg Config) []Figure3Curve {
 		}
 	}
 	res := cfg.runCells(cells)
-	var curves []Figure3Curve
+	curves := make([]Figure3Curve, 0, len(figure3Apps()))
 	i := 0
 	for _, a := range figure3Apps() {
 		base := res[i].Elapsed
@@ -170,7 +170,7 @@ var figure4Protocols = []svm.Protocol{svm.HLRC, svm.HLRCAU, svm.AURC}
 // applications.
 func Figure4SVM(cfg Config) []Figure4SVMRow {
 	apps := []App{BarnesSVM, OceanSVM, RadixSVM}
-	var cells []Spec
+	cells := make([]Spec, 0, len(apps)*len(figure4Protocols))
 	for _, a := range apps {
 		for _, proto := range figure4Protocols {
 			proto := proto
@@ -178,7 +178,7 @@ func Figure4SVM(cfg Config) []Figure4SVMRow {
 		}
 	}
 	res := cfg.runCells(cells)
-	var rows []Figure4SVMRow
+	rows := make([]Figure4SVMRow, 0, len(cells))
 	i := 0
 	for range apps {
 		base := float64(res[i].Elapsed) // HLRC comes first
@@ -233,14 +233,14 @@ type Figure4AUDURow struct {
 // Ocean-NX and Barnes-NX.
 func Figure4AUDU(cfg Config) []Figure4AUDURow {
 	apps := []App{RadixVMMC, OceanNX, BarnesNX}
-	var cells []Spec
+	cells := make([]Spec, 0, 2*len(apps))
 	for _, a := range apps {
 		cells = append(cells,
 			Spec{App: a, Nodes: cfg.Nodes, Variant: VariantAU},
 			Spec{App: a, Nodes: cfg.Nodes, Variant: VariantDU})
 	}
 	res := cfg.runCells(cells)
-	var rows []Figure4AUDURow
+	rows := make([]Figure4AUDURow, 0, len(apps))
 	for i, a := range apps {
 		au := res[2*i].Elapsed
 		du := res[2*i+1].Elapsed
@@ -274,7 +274,7 @@ func percentIncrease(base, mod sim.Time) float64 {
 // whatIf runs a baseline and a mutated configuration per app (cells
 // interleaved pairwise) and assembles the comparison rows.
 func whatIf(cfg Config, apps []App, nodesFor func(App) int, mutate func(*machine.Config), paper map[App]float64) []WhatIfRow {
-	var cells []Spec
+	cells := make([]Spec, 0, 2*len(apps))
 	for _, a := range apps {
 		n := cfg.Nodes
 		if nodesFor != nil {
@@ -286,7 +286,7 @@ func whatIf(cfg Config, apps []App, nodesFor func(App) int, mutate func(*machine
 			Spec{App: a, Nodes: n, Variant: v, Mutate: mutate})
 	}
 	res := cfg.runCells(cells)
-	var rows []WhatIfRow
+	rows := make([]WhatIfRow, 0, len(apps))
 	for i, a := range apps {
 		base := res[2*i].Elapsed
 		mod := res[2*i+1].Elapsed
@@ -327,12 +327,12 @@ type Table3Row struct {
 
 // Table3 counts notifications and total messages at full machine size.
 func Table3(cfg Config) []Table3Row {
-	var cells []Spec
+	cells := make([]Spec, 0, len(AllApps()))
 	for _, a := range AllApps() {
 		cells = append(cells, Spec{App: a, Nodes: cfg.Nodes, Variant: DefaultVariant(a)})
 	}
 	res := cfg.runCells(cells)
-	var rows []Table3Row
+	rows := make([]Table3Row, 0, len(AllApps()))
 	for i, a := range AllApps() {
 		c := res[i].Counters
 		pct := 0.0
@@ -381,12 +381,12 @@ func Combining(cfg Config) []CombiningRow {
 		return Spec{App: a, Nodes: cfg.Nodes, Variant: VariantAU,
 			Mutate: func(c *machine.Config) { c.NIC.Combining = combine }}
 	}
-	var cells []Spec
+	cells := make([]Spec, 0, 2*len(apps))
 	for _, a := range apps {
 		cells = append(cells, cell(a, true), cell(a, false))
 	}
 	res := cfg.runCells(cells)
-	var rows []CombiningRow
+	rows := make([]CombiningRow, 0, len(apps))
 	for i, a := range apps {
 		name := a.String() + " (AU)"
 		note := "paper: <1% effect"
@@ -419,7 +419,7 @@ type FIFORow struct {
 // paper found no detectable difference.
 func FIFO(cfg Config) []FIFORow {
 	apps := []App{RadixVMMC, RadixSVM, OceanSVM, DFSSockets}
-	var cells []Spec
+	cells := make([]Spec, 0, 2*len(apps))
 	for _, a := range apps {
 		v := DefaultVariant(a)
 		cells = append(cells,
@@ -432,7 +432,7 @@ func FIFO(cfg Config) []FIFORow {
 				}})
 	}
 	res := cfg.runCells(cells)
-	var rows []FIFORow
+	rows := make([]FIFORow, 0, len(apps))
 	for i, a := range apps {
 		large, small := res[2*i], res[2*i+1]
 		rows = append(rows, FIFORow{App: a, Large: large.Elapsed, Small: small.Elapsed,
@@ -457,7 +457,7 @@ type DUQueueRow struct {
 func DUQueue(cfg Config) []DUQueueRow {
 	apps := []App{BarnesSVM, OceanSVM, RadixSVM}
 	proto := svm.HLRC // deliberate-update-based protocol
-	var cells []Spec
+	cells := make([]Spec, 0, 2*len(apps))
 	for _, a := range apps {
 		cells = append(cells,
 			Spec{App: a, Nodes: cfg.Nodes, Protocol: &proto},
@@ -465,7 +465,7 @@ func DUQueue(cfg Config) []DUQueueRow {
 				Mutate: func(c *machine.Config) { c.NIC.DUQueueDepth = 2 }})
 	}
 	res := cfg.runCells(cells)
-	var rows []DUQueueRow
+	rows := make([]DUQueueRow, 0, len(apps))
 	for i, a := range apps {
 		d1, d2 := res[2*i].Elapsed, res[2*i+1].Elapsed
 		rows = append(rows, DUQueueRow{App: a, Depth1: d1, Depth2: d2,
@@ -492,7 +492,7 @@ type PerPacketRow struct {
 
 // InterruptPerPacket measures both interrupt designs per application.
 func InterruptPerPacket(cfg Config) []PerPacketRow {
-	var cells []Spec
+	cells := make([]Spec, 0, 3*len(AllApps()))
 	for _, a := range AllApps() {
 		v := DefaultVariant(a)
 		cells = append(cells,
@@ -503,7 +503,7 @@ func InterruptPerPacket(cfg Config) []PerPacketRow {
 				Mutate: func(c *machine.Config) { c.NIC.InterruptPerPacket = true }})
 	}
 	res := cfg.runCells(cells)
-	var rows []PerPacketRow
+	rows := make([]PerPacketRow, 0, len(AllApps()))
 	for i, a := range AllApps() {
 		base, msg, pkt := res[3*i].Elapsed, res[3*i+1].Elapsed, res[3*i+2].Elapsed
 		rows = append(rows, PerPacketRow{App: a, Baseline: base,

@@ -84,5 +84,5 @@ func MyrinetCostModel() CostModel {
 
 // CopyTime is the local memory-copy time for n bytes.
 func (c *CostModel) CopyTime(n int) sim.Time {
-	return sim.Time(float64(n) / c.MemCopyBandwidth * 1e9)
+	return sim.TransferTime(n, c.MemCopyBandwidth)
 }

@@ -120,9 +120,15 @@ func New(cfg Config) *Machine {
 	return m
 }
 
-// Close terminates all device-engine goroutines. The machine is
+// Close terminates all device-engine goroutines and recycles each
+// node's page memory into the shared arena pool. The machine is
 // unusable afterwards.
-func (m *Machine) Close() { m.E.Shutdown() }
+func (m *Machine) Close() {
+	m.E.Shutdown()
+	for _, nd := range m.Nodes {
+		nd.Mem.Release()
+	}
+}
 
 // RunParallel runs body once per node as the node's application process
 // and executes the simulation until all of them finish. It returns the
@@ -196,6 +202,10 @@ func (nd *Node) raiseInterrupt(kind nic.InterruptKind, pkt *nic.Packet) {
 		// Null handler: pure cost.
 		nd.CPU.Steal(cost)
 	case nic.IntNotification:
+		// The handler runs after the NIC has recycled the packet into
+		// its freelist, so it captures a detached clone, not the pooled
+		// original.
+		pkt = pkt.Clone()
 		dispatch := nd.M.Cfg.Cost.NotifyDispatchCost
 		nd.SpawnHandler(fmt.Sprintf("notify@%d", nd.ID), func(p *sim.Proc, c *CPU) {
 			c.ChargeOverhead(cost + dispatch)

@@ -12,6 +12,7 @@ package memory
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"shrimp/internal/sim"
 )
@@ -62,7 +63,46 @@ func (p Prot) String() string {
 type page struct {
 	data   []byte
 	mapped bool
-	prot   Prot
+	// dirty records that the page may hold nonzero bytes, so Release
+	// zeroes only pages that were actually written. Any path that can
+	// modify data sets it, including PageData (whose caller may write).
+	dirty bool
+	prot  Prot
+}
+
+// arenaPool recycles page arenas across address-space lifetimes. A full
+// experiment grid builds and discards hundreds of machines, and their
+// page memory (tens of gigabytes cumulatively) dominated runtime as
+// allocator and GC work; recycling reduces that to a memclr of the pages
+// each cell actually wrote. Arenas are pooled by exact size because cell
+// configurations repeat, so hit rates are near-perfect. The pool is
+// shared by all workers; the mutex is uncontended off the Alloc path.
+var arenaPool = struct {
+	sync.Mutex
+	bySize map[int][][]byte
+}{bySize: map[int][][]byte{}}
+
+// getArena returns a zeroed arena of exactly n bytes.
+func getArena(n int) []byte {
+	arenaPool.Lock()
+	free := arenaPool.bySize[n]
+	if len(free) > 0 {
+		a := free[len(free)-1]
+		free[len(free)-1] = nil
+		arenaPool.bySize[n] = free[:len(free)-1]
+		arenaPool.Unlock()
+		return a
+	}
+	arenaPool.Unlock()
+	return make([]byte, n)
+}
+
+// putArena returns an arena to the pool. The caller must have restored
+// it to all-zero (see Release).
+func putArena(a []byte) {
+	arenaPool.Lock()
+	arenaPool.bySize[len(a)] = append(arenaPool.bySize[len(a)], a)
+	arenaPool.Unlock()
 }
 
 // SnoopFunc observes a completed store to main memory. It runs at the
@@ -76,8 +116,9 @@ type FaultFunc func(p *sim.Proc, vpn int, write bool)
 
 // AddressSpace is one node's paged memory.
 type AddressSpace struct {
-	pages []page
-	brk   Addr
+	pages  []page
+	brk    Addr
+	arenas [][]byte // backing blocks, one per Alloc call, for Release
 
 	// Snoop, if set, is invoked after every CPU store (not DMA stores;
 	// see DMAWrite). This is the hook the NIC's AU logic attaches to.
@@ -99,9 +140,16 @@ func (as *AddressSpace) Alloc(npages int) Addr {
 		panic("memory: Alloc of non-positive page count")
 	}
 	base := as.brk
+	// One arena (usually recycled, see arenaPool) backs the whole run:
+	// npages small makeslice calls would dominate machine construction
+	// time in page zeroing and span bookkeeping. Each page gets a
+	// capacity-capped view so an out-of-bounds append through PageData
+	// cannot silently bleed into its neighbor.
+	arena := getArena(npages * PageSize)
+	as.arenas = append(as.arenas, arena)
 	for i := 0; i < npages; i++ {
 		as.pages = append(as.pages, page{
-			data:   make([]byte, PageSize),
+			data:   arena[i*PageSize : (i+1)*PageSize : (i+1)*PageSize],
 			mapped: true,
 			prot:   ProtReadWrite,
 		})
@@ -113,6 +161,25 @@ func (as *AddressSpace) Alloc(npages int) Addr {
 // AllocBytes maps enough pages for n bytes and returns the base address.
 func (as *AddressSpace) AllocBytes(n int) Addr {
 	return as.Alloc((n + PageSize - 1) / PageSize)
+}
+
+// Release zeroes every written page and returns the backing arenas to
+// the shared pool for the next machine to reuse. The address space is
+// unusable afterwards. Callers that skip Release (tests, one-shot runs)
+// simply leave their arenas to the garbage collector.
+func (as *AddressSpace) Release() {
+	for i := range as.pages {
+		pg := &as.pages[i]
+		if pg.dirty {
+			clear(pg.data)
+		}
+	}
+	for _, a := range as.arenas {
+		putArena(a)
+	}
+	as.arenas = nil
+	as.pages = nil
+	as.brk = 0
 }
 
 // Mapped reports whether vpn is a mapped page.
@@ -140,6 +207,9 @@ func (as *AddressSpace) SetProt(vpn int, p Prot) {
 // simulation's timing discipline itself.
 func (as *AddressSpace) PageData(vpn int) []byte {
 	as.check(vpn)
+	// The caller may write through the returned slice, so the page must
+	// be assumed dirty from here on.
+	as.pages[vpn].dirty = true
 	return as.pages[vpn].data
 }
 
@@ -195,6 +265,7 @@ func (as *AddressSpace) Write(p *sim.Proc, addr Addr, buf []byte) {
 		vpn := addr.VPN()
 		as.ensure(p, vpn, true)
 		off := addr.Offset()
+		as.pages[vpn].dirty = true
 		n := copy(as.pages[vpn].data[off:], buf)
 		if as.Snoop != nil {
 			as.Snoop(addr, n)
@@ -223,6 +294,7 @@ func (as *AddressSpace) WriteUint32(p *sim.Proc, addr Addr, v uint32) {
 	as.ensure(p, vpn, true)
 	off := addr.Offset()
 	if off+4 <= PageSize {
+		as.pages[vpn].dirty = true
 		binary.LittleEndian.PutUint32(as.pages[vpn].data[off:], v)
 		if as.Snoop != nil {
 			as.Snoop(addr, 4)
@@ -253,6 +325,7 @@ func (as *AddressSpace) WriteUint64(p *sim.Proc, addr Addr, v uint64) {
 	as.ensure(p, vpn, true)
 	off := addr.Offset()
 	if off+8 <= PageSize {
+		as.pages[vpn].dirty = true
 		binary.LittleEndian.PutUint64(as.pages[vpn].data[off:], v)
 		if as.Snoop != nil {
 			as.Snoop(addr, 8)
@@ -287,6 +360,7 @@ func (as *AddressSpace) DMAWrite(addr Addr, buf []byte) {
 		vpn := addr.VPN()
 		as.check(vpn)
 		off := addr.Offset()
+		as.pages[vpn].dirty = true
 		n := copy(as.pages[vpn].data[off:], buf)
 		buf = buf[n:]
 		addr += Addr(n)

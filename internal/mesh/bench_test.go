@@ -1,0 +1,25 @@
+package mesh
+
+import (
+	"testing"
+
+	"shrimp/internal/sim"
+)
+
+// BenchmarkSend measures the pooled acquire-send-deliver-release cycle
+// across the 4x4 mesh (6-hop worst case plus a loopback).
+func BenchmarkSend(b *testing.B) {
+	e := sim.NewEngine()
+	n := New(e, DefaultConfig())
+	for i := 0; i < n.Nodes(); i++ {
+		n.Attach(NodeID(i), func(p *Packet) { n.Release(p) })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := n.Acquire()
+		pkt.Src, pkt.Dst, pkt.Size = 0, 15, 128
+		n.Send(pkt)
+		e.Run()
+	}
+}

@@ -16,10 +16,24 @@ import (
 type NodeID int
 
 // Packet is one network packet. The payload is opaque to the mesh.
+//
+// Steady-state traffic should use packets obtained from Network.Acquire
+// and returned with Network.Release once the receiver is done with them:
+// such packets recycle through a freelist (mirroring the engine's event
+// freelist) and carry a pre-built delivery thunk, so Send performs no
+// heap allocation. A Packet constructed literally still works; it simply
+// is never recycled. A released packet must not be retained: the network
+// may hand it out again on the next Acquire.
 type Packet struct {
 	Src, Dst NodeID
 	Size     int // bytes on the wire, including header
 	Payload  any
+
+	// deliver invokes the destination sink on this packet. It is built
+	// once per pooled packet (capturing only the packet and its network)
+	// and reused across recycles, replacing the per-send closure that
+	// used to dominate Send's allocation profile.
+	deliver func()
 }
 
 // Config describes the mesh geometry and timing.
@@ -34,6 +48,11 @@ type Config struct {
 	// interface through the transceiver onto the backplane (and
 	// symmetrically off it at the destination).
 	InjectDelay sim.Time
+	// NoFastPath disables the (src,dst) route cache and the packet
+	// freelist, forcing Send back onto the allocate-and-recompute path.
+	// Simulation output is identical either way — the golden test in the
+	// harness asserts it — so the knob exists only to prove that.
+	NoFastPath bool
 }
 
 // DefaultConfig matches the 16-node SHRIMP system: a 4x4 mesh with
@@ -49,7 +68,9 @@ func DefaultConfig() Config {
 }
 
 // Sink receives packets delivered to a node. It runs in engine context
-// at the delivery instant; implementations must not block.
+// at the delivery instant; implementations must not block. The packet
+// belongs to the sender's pool: the receiver must Release it (directly
+// or after queueing it for later processing) when finished.
 type Sink func(pkt *Packet)
 
 // direction indexes the four outgoing links of a router.
@@ -85,6 +106,15 @@ type Network struct {
 	links []link // [router*ndirections + dir]
 	sinks []Sink
 	stats Stats
+
+	// routes caches the X-Y path for every (src,dst) pair, filled
+	// lazily on first use. A 4x4 mesh has only 256 pairs, so Send never
+	// recomputes or allocates a path in steady state; path() remains the
+	// oracle the cache is validated against in tests.
+	routes [][]*link
+
+	// pool is the Packet freelist.
+	pool []*Packet
 }
 
 // New constructs a mesh network on engine e.
@@ -94,10 +124,11 @@ func New(e *sim.Engine, cfg Config) *Network {
 	}
 	n := cfg.Width * cfg.Height
 	return &Network{
-		e:     e,
-		cfg:   cfg,
-		links: make([]link, n*int(ndirections)),
-		sinks: make([]Sink, n),
+		e:      e,
+		cfg:    cfg,
+		links:  make([]link, n*int(ndirections)),
+		sinks:  make([]Sink, n),
+		routes: make([][]*link, n*n),
 	}
 }
 
@@ -115,6 +146,32 @@ func (n *Network) Attach(id NodeID, s Sink) {
 	n.sinks[id] = s
 }
 
+// Acquire returns a zeroed packet, recycled from the freelist when
+// possible. The caller fills Src, Dst, Size and Payload and passes it to
+// Send; the receiving side returns it with Release.
+func (n *Network) Acquire() *Packet {
+	if k := len(n.pool); k > 0 {
+		pkt := n.pool[k-1]
+		n.pool[k-1] = nil
+		n.pool = n.pool[:k-1]
+		return pkt
+	}
+	pkt := &Packet{}
+	pkt.deliver = func() { n.sinks[pkt.Dst](pkt) }
+	return pkt
+}
+
+// Release returns a delivered packet to the freelist. Packets that were
+// constructed literally (no delivery thunk) and packets of a NoFastPath
+// network are dropped for the garbage collector instead.
+func (n *Network) Release(pkt *Packet) {
+	if n.cfg.NoFastPath || pkt.deliver == nil {
+		return
+	}
+	pkt.Payload = nil
+	n.pool = append(n.pool, pkt)
+}
+
 func (n *Network) coords(id NodeID) (x, y int) {
 	return int(id) % n.cfg.Width, int(id) / n.cfg.Width
 }
@@ -126,11 +183,13 @@ func (n *Network) linkAt(x, y int, d direction) *link {
 
 // serialization returns the time a packet of size bytes occupies a link.
 func (n *Network) serialization(size int) sim.Time {
-	return sim.Time(float64(size) / n.cfg.LinkBandwidth * 1e9)
+	return sim.TransferTime(size, n.cfg.LinkBandwidth)
 }
 
 // path returns the sequence of directed links a packet takes under X-Y
-// dimension-order routing from src to dst.
+// dimension-order routing from src to dst. It allocates a fresh slice
+// per call; Send goes through route, which serves cached copies. path
+// stays as the independently-computed oracle for the cache tests.
 func (n *Network) path(src, dst NodeID) []*link {
 	sx, sy := n.coords(src)
 	dx, dy := n.coords(dst)
@@ -157,18 +216,27 @@ func (n *Network) path(src, dst NodeID) []*link {
 	return links
 }
 
+// route returns the cached path from src to dst, computing it on first
+// use. src != dst is required (loopback never touches the backplane), so
+// a non-nil cached route is never empty and nil means "not yet filled".
+func (n *Network) route(src, dst NodeID) []*link {
+	if n.cfg.NoFastPath {
+		return n.path(src, dst)
+	}
+	idx := int(src)*n.Nodes() + int(dst)
+	if r := n.routes[idx]; r != nil {
+		return r
+	}
+	r := n.path(src, dst)
+	n.routes[idx] = r
+	return r
+}
+
 // Hops returns the number of router-to-router hops between two nodes.
 func (n *Network) Hops(src, dst NodeID) int {
 	sx, sy := n.coords(src)
 	dx, dy := n.coords(dst)
-	return abs(sx-dx) + abs(sy-dy)
-}
-
-func abs(v int) int {
-	if v < 0 {
-		return -v
-	}
-	return v
+	return sim.AbsInt(sx-dx) + sim.AbsInt(sy-dy)
 }
 
 // Send injects a packet at the current instant and schedules its
@@ -177,6 +245,11 @@ func abs(v int) int {
 func (n *Network) Send(pkt *Packet) sim.Time {
 	if n.sinks[pkt.Dst] == nil {
 		panic(fmt.Sprintf("mesh: send to unattached node %d", pkt.Dst))
+	}
+	deliver := pkt.deliver
+	if deliver == nil {
+		// Literal (unpooled) packet: build the delivery thunk once.
+		deliver = func() { n.sinks[pkt.Dst](pkt) }
 	}
 	now := n.e.Now()
 	n.stats.Packets++
@@ -188,10 +261,10 @@ func (n *Network) Send(pkt *Packet) sim.Time {
 	if pkt.Src == pkt.Dst {
 		// Loopback through the NIC without touching the backplane.
 		t := head + occ
-		n.e.At(t, func() { n.sinks[pkt.Dst](pkt) })
+		n.e.At(t, deliver)
 		return t
 	}
-	links := n.path(pkt.Src, pkt.Dst)
+	links := n.route(pkt.Src, pkt.Dst)
 	n.stats.HopsTotal += int64(len(links))
 	for _, l := range links {
 		start := head
@@ -206,6 +279,6 @@ func (n *Network) Send(pkt *Packet) sim.Time {
 	// Ejection at the destination: the tail arrives one serialization
 	// time after the head clears the last router.
 	t := head + n.cfg.InjectDelay + occ
-	n.e.At(t, func() { n.sinks[pkt.Dst](pkt) })
+	n.e.At(t, deliver)
 	return t
 }

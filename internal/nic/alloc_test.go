@@ -1,0 +1,47 @@
+package nic
+
+import "testing"
+
+// TestAUEmitAllocationFree asserts the automatic-update path — snooped
+// store, combining buffer, packet emission, mesh transit, receive-side
+// DMA, packet recycle — performs zero steady-state heap allocations.
+func TestAUEmitAllocationFree(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	local := r.mem0.Alloc(1)
+	dst := r.mem1.Alloc(1)
+	r.n1.SetIncoming(dst.VPN(), false)
+	r.n0.MapOutgoing(local.VPN(), 1, dst.VPN(), true, true, false)
+
+	word := uint32(1)
+	avg := testing.AllocsPerRun(100, func() {
+		r.mem0.WriteUint32(nil, local+8, word)
+		r.mem0.WriteUint32(nil, local+12, word+1)
+		word += 2
+		r.e.Run() // drain: combine timeout fires, packet crosses, recycles
+	})
+	if avg != 0 {
+		t.Fatalf("AU emit path allocates %.1f objects per store burst, want 0", avg)
+	}
+}
+
+// TestDUEmitAllocationFree asserts the deliberate-update path — request
+// queue, DMA engine, packet injection, receive-side store, recycle —
+// performs zero steady-state heap allocations.
+func TestDUEmitAllocationFree(t *testing.T) {
+	r := newRig(t, DefaultConfig())
+	src := r.mem0.Alloc(1)
+	proxy := r.mem0.Alloc(1)
+	dst := r.mem1.Alloc(1)
+	r.n1.SetIncoming(dst.VPN(), false)
+	r.n0.MapOutgoing(proxy.VPN(), 1, dst.VPN(), false, false, false)
+
+	avg := testing.AllocsPerRun(100, func() {
+		// The request queue is empty each iteration (the engine drains
+		// fully), so SendDU never blocks and a nil proc is safe.
+		r.n0.SendDU(nil, src, proxy, 256, false, true)
+		r.e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("DU emit path allocates %.1f objects per transfer, want 0", avg)
+	}
+}

@@ -42,6 +42,12 @@ type Config struct {
 	// firmware implemented 2.
 	DUQueueDepth int
 
+	// NoPool disables the Packet and transfer-request freelists, forcing
+	// a fresh allocation per AU/DU packet. Simulation output is
+	// identical either way — the golden test in the harness asserts it —
+	// so the knob exists only to prove that.
+	NoPool bool
+
 	// InterruptPerMessage forces a (null-handler) interrupt on every
 	// arriving message, approximating traditional NIC designs (§4.4).
 	InterruptPerMessage bool

@@ -9,10 +9,16 @@ import (
 // backplane, validates them against the Incoming Page Table, writes the
 // payload to host memory over the memory bus, and raises interrupts per
 // the notification rules of §2.2/§4.4.
+//
+// The mesh-level carrier is released back to the network pool as soon as
+// the NIC payload is unwrapped; the NIC packet itself is released to its
+// owning NIC's freelist once every delivery hook has run. Hooks that
+// need the packet beyond that instant must Clone it.
 func (n *NIC) rxEngine(p *sim.Proc) {
 	for {
 		mp := n.rxQueue.Pop(p)
 		pkt := mp.Payload.(*Packet)
+		n.net.Release(mp)
 
 		// The NIC port is busy while a packet is being received, which
 		// blocks outgoing-FIFO draining (incoming has priority in the
@@ -20,12 +26,12 @@ func (n *NIC) rxEngine(p *sim.Proc) {
 		n.nicPort.Acquire(p)
 		p.Sleep(n.cfg.RxSetup)
 
-		ipt, ok := n.ipt[pkt.DstPage]
-		if !ok || !ipt.Valid {
+		if _, ok := n.incoming(pkt.DstPage); !ok {
 			// Page not exported: hardware drops the packet and counts
 			// the error.
 			n.dropped++
 			n.nicPort.Release()
+			releasePacket(pkt)
 			continue
 		}
 
@@ -58,12 +64,17 @@ func (n *NIC) rxEngine(p *sim.Proc) {
 			p.Sleep(n.cfg.InterruptStall)
 		}
 		// Notification rule: sender's interrupt-request bit AND the
-		// receiver's per-page interrupt-enable bit.
-		if pkt.Interrupt && ipt.InterruptEnable && n.RaiseInterrupt != nil {
-			n.RaiseInterrupt(IntNotification, pkt)
+		// receiver's per-page interrupt-enable bit. The entry is looked
+		// up afresh here because the table may have been grown or its
+		// interrupt-enable bit toggled while the DMA slept above.
+		if pkt.Interrupt && n.RaiseInterrupt != nil {
+			if ipt, ok := n.incoming(pkt.DstPage); ok && ipt.InterruptEnable {
+				n.RaiseInterrupt(IntNotification, pkt)
+			}
 		}
 		if n.OnDeliver != nil {
 			n.OnDeliver(pkt)
 		}
+		releasePacket(pkt)
 	}
 }

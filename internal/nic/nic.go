@@ -51,6 +51,12 @@ func (k InterruptKind) String() string {
 }
 
 // Packet is the NIC-level wire format, carried opaquely by the mesh.
+//
+// Packets on the AU/DU emit paths come from a per-NIC freelist: the
+// receive engine returns each packet to its owner once the payload is in
+// host memory and delivery hooks have run. A handler that needs a packet
+// past that instant (the notification dispatch path does) must take a
+// Clone, never the original.
 type Packet struct {
 	Kind      Kind
 	Src       mesh.NodeID
@@ -59,6 +65,33 @@ type Packet struct {
 	Data      []byte
 	Interrupt bool // sender's interrupt-request bit
 	EndOfMsg  bool // last packet of a VMMC-level message
+
+	// owner is the NIC whose freelist this packet recycles through
+	// (nil for literal packets, which are never recycled).
+	owner *NIC
+	// fifoDst is the destination node while the packet waits out the
+	// snoop latency on its way to the outgoing FIFO.
+	fifoDst mesh.NodeID
+	// fifoFn enqueues this packet into its owner's outgoing FIFO. Like
+	// mesh.Packet's delivery thunk it is built once per packet and
+	// reused across recycles, so emitAU schedules it with no allocation.
+	fifoFn func()
+}
+
+// Clone returns a detached copy of the packet's header fields, safe to
+// retain after the receive engine recycles the original. The payload is
+// deliberately not carried over: by the time a clone is consulted the
+// data is already in host memory, and aliasing a pooled buffer would be
+// a use-after-recycle bug.
+func (pkt *Packet) Clone() *Packet {
+	return &Packet{
+		Kind:      pkt.Kind,
+		Src:       pkt.Src,
+		DstPage:   pkt.DstPage,
+		DstOffset: pkt.DstOffset,
+		Interrupt: pkt.Interrupt,
+		EndOfMsg:  pkt.EndOfMsg,
+	}
 }
 
 // OPTEntry is one Outgoing Page Table entry: the mapping from a local
@@ -71,6 +104,12 @@ type OPTEntry struct {
 	AUEnable  bool
 	Combine   bool
 	Interrupt bool // interrupt-request bit attached to AU packets
+
+	// gen distinguishes successive mappings installed at the same vpn:
+	// MapOutgoing stamps each entry uniquely. The combining buffer uses
+	// it to detect remapping mid-combine, reproducing the identity
+	// semantics the table had when entries were individually allocated.
+	gen uint64
 }
 
 // IPTEntry is one Incoming Page Table entry.
@@ -79,7 +118,8 @@ type IPTEntry struct {
 	InterruptEnable bool
 }
 
-// duRequest is a queued deliberate-update transfer.
+// duRequest is a queued deliberate-update transfer. Requests recycle
+// through a per-NIC freelist.
 type duRequest struct {
 	src       memory.Addr
 	dstNode   mesh.NodeID
@@ -90,14 +130,17 @@ type duRequest struct {
 	endOfMsg  bool
 }
 
-// combineState is the AU combining buffer (§4.5.1).
+// combineState is the AU combining buffer (§4.5.1). It holds a value
+// copy of the OPT entry it is combining under rather than a pointer into
+// the table: the table is a growable slice, and a copy both survives
+// growth and pins the mapping the first combined store saw.
 type combineState struct {
 	active bool
-	ent    *OPTEntry
-	page   int // local VPN being combined (for diagnostics)
+	ent    OPTEntry
+	page   int // local VPN being combined
 	start  int // dst offset of first byte
 	buf    []byte
-	timer  *sim.Timer
+	timer  sim.Timer
 }
 
 // NIC is the network interface of one node.
@@ -110,15 +153,19 @@ type NIC struct {
 	acct *stats.Node
 	cfg  Config
 
-	opt map[int]*OPTEntry
-	ipt map[int]*IPTEntry
+	// opt and ipt are dense, vpn-indexed tables. Address spaces are
+	// small and contiguous by construction (memory.AddressSpace grows a
+	// linear brk), so a slice index replaces the map hash that used to
+	// sit on every snooped store and every arriving packet.
+	opt    []OPTEntry
+	ipt    []IPTEntry
+	optGen uint64 // stamp source for OPTEntry.gen
 
-	// optCache short-circuits the OPT map for the last page touched.
-	// Stores exhibit strong page locality, and Outgoing runs once per
-	// simulated store, so this converts most lookups into one compare.
-	optCacheVPN int
-	optCacheEnt *OPTEntry
-	optCacheOK  bool
+	// pktFree is the Packet freelist; packets are acquired on the emit
+	// paths and released by the receiving NIC's engine.
+	pktFree []*Packet
+	// duFree is the duRequest freelist.
+	duFree []*duRequest
 
 	// Outgoing side.
 	duQueue   *sim.Queue[*duRequest]
@@ -132,6 +179,10 @@ type NIC struct {
 	outAU     int // AU packets emitted but not yet injected
 	fenceCond *sim.Cond
 	combine   combineState
+	// flushFn is the bound flushCombine method value, materialized once:
+	// re-arming the combine timer with a fresh method-value closure per
+	// snooped store used to dominate the AU path's allocation profile.
+	flushFn func()
 
 	// nicPort models the single port of the network interface chip:
 	// incoming packets and outgoing injections contend for it, which is
@@ -143,11 +194,12 @@ type NIC struct {
 	dropped int64
 
 	// RaiseInterrupt is invoked (non-blocking, any context) when the NIC
-	// interrupts the host CPU. Set by the machine layer.
+	// interrupts the host CPU. Set by the machine layer. The packet is
+	// only valid for the duration of the call; retain via Clone.
 	RaiseInterrupt func(kind InterruptKind, pkt *Packet)
 	// OnDeliver is invoked in receive-engine context after a packet's
 	// payload has been written to host memory. Set by the VMMC layer.
-	// It must not block.
+	// It must not block or retain the packet.
 	OnDeliver func(pkt *Packet)
 }
 
@@ -165,8 +217,6 @@ func New(e *sim.Engine, id mesh.NodeID, net *mesh.Network, mem *memory.AddressSp
 		bus:       bus,
 		acct:      acct,
 		cfg:       cfg,
-		opt:       make(map[int]*OPTEntry),
-		ipt:       make(map[int]*IPTEntry),
 		duQueue:   sim.NewQueue[*duRequest](e),
 		duCond:    sim.NewCond(e),
 		fifo:      sim.NewQueue[fifoEntry](e),
@@ -175,6 +225,7 @@ func New(e *sim.Engine, id mesh.NodeID, net *mesh.Network, mem *memory.AddressSp
 		nicPort:   sim.NewResource(e),
 		rxQueue:   sim.NewQueue[*mesh.Packet](e),
 	}
+	n.flushFn = n.flushCombine
 	net.Attach(id, func(mp *mesh.Packet) { n.rxQueue.Push(mp) })
 	return n
 }
@@ -200,60 +251,132 @@ func (n *NIC) Start() {
 	n.e.Spawn(fmt.Sprintf("nic%d.rx", n.id), n.rxEngine)
 }
 
+// allocPacket takes a packet from the freelist or builds a fresh one
+// with its FIFO thunk bound.
+func (n *NIC) allocPacket() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		pkt := n.pktFree[k-1]
+		n.pktFree[k-1] = nil
+		n.pktFree = n.pktFree[:k-1]
+		return pkt
+	}
+	pkt := &Packet{owner: n}
+	pkt.fifoFn = func() { pkt.owner.fifoArrive(pkt, pkt.fifoDst) }
+	return pkt
+}
+
+// releasePacket returns a consumed packet to its owning NIC's freelist.
+// Literal packets (no owner) and pooling-disabled NICs drop it instead.
+func releasePacket(pkt *Packet) {
+	o := pkt.owner
+	if o == nil || o.cfg.NoPool {
+		return
+	}
+	o.pktFree = append(o.pktFree, pkt)
+}
+
+// allocDU takes a transfer request from the freelist.
+func (n *NIC) allocDU() *duRequest {
+	if k := len(n.duFree); k > 0 {
+		r := n.duFree[k-1]
+		n.duFree[k-1] = nil
+		n.duFree = n.duFree[:k-1]
+		return r
+	}
+	return &duRequest{}
+}
+
+// releaseDU recycles a completed transfer request.
+func (n *NIC) releaseDU(r *duRequest) {
+	if n.cfg.NoPool {
+		return
+	}
+	n.duFree = append(n.duFree, r)
+}
+
+// growOPT extends the outgoing page table to cover vpn.
+func (n *NIC) growOPT(vpn int) {
+	for len(n.opt) <= vpn {
+		n.opt = append(n.opt, OPTEntry{})
+	}
+}
+
 // MapOutgoing installs an OPT entry for local page vpn.
 func (n *NIC) MapOutgoing(vpn int, dst mesh.NodeID, dstPage int, au, combine, interrupt bool) {
-	n.opt[vpn] = &OPTEntry{
+	n.growOPT(vpn)
+	n.optGen++
+	n.opt[vpn] = OPTEntry{
 		Valid:     true,
 		DstNode:   dst,
 		DstPage:   dstPage,
 		AUEnable:  au,
 		Combine:   combine,
 		Interrupt: interrupt,
+		gen:       n.optGen,
 	}
-	n.optCacheOK = false
 }
 
 // UnmapOutgoing removes the OPT entry for vpn.
 func (n *NIC) UnmapOutgoing(vpn int) {
-	delete(n.opt, vpn)
-	n.optCacheOK = false
+	if vpn >= 0 && vpn < len(n.opt) {
+		n.opt[vpn] = OPTEntry{}
+	}
 }
 
-// Outgoing looks up the OPT entry for vpn. Misses are cached too, so a
-// run of stores to an unmapped page costs one map probe total.
+// Outgoing looks up the OPT entry for vpn. The returned pointer is into
+// the table and is invalidated by the next MapOutgoing; callers use it
+// immediately and do not hold it across mapping changes.
 func (n *NIC) Outgoing(vpn int) (*OPTEntry, bool) {
-	if n.optCacheOK && vpn == n.optCacheVPN {
-		return n.optCacheEnt, n.optCacheEnt != nil
+	if vpn < 0 || vpn >= len(n.opt) || !n.opt[vpn].Valid {
+		return nil, false
 	}
-	ent := n.opt[vpn]
-	n.optCacheVPN, n.optCacheEnt, n.optCacheOK = vpn, ent, true
-	return ent, ent != nil
+	return &n.opt[vpn], true
+}
+
+// growIPT extends the incoming page table to cover vpn.
+func (n *NIC) growIPT(vpn int) {
+	for len(n.ipt) <= vpn {
+		n.ipt = append(n.ipt, IPTEntry{})
+	}
 }
 
 // SetIncoming installs an IPT entry for local page vpn (exported page).
 func (n *NIC) SetIncoming(vpn int, interruptEnable bool) {
-	n.ipt[vpn] = &IPTEntry{Valid: true, InterruptEnable: interruptEnable}
+	n.growIPT(vpn)
+	n.ipt[vpn] = IPTEntry{Valid: true, InterruptEnable: interruptEnable}
 }
 
 // SetIncomingInterrupt toggles the receiver-side interrupt-enable bit.
 func (n *NIC) SetIncomingInterrupt(vpn int, enable bool) {
-	if e, ok := n.ipt[vpn]; ok {
-		e.InterruptEnable = enable
+	if vpn >= 0 && vpn < len(n.ipt) && n.ipt[vpn].Valid {
+		n.ipt[vpn].InterruptEnable = enable
 	}
 }
 
 // ClearIncoming removes the IPT entry for vpn.
-func (n *NIC) ClearIncoming(vpn int) { delete(n.ipt, vpn) }
+func (n *NIC) ClearIncoming(vpn int) {
+	if vpn >= 0 && vpn < len(n.ipt) {
+		n.ipt[vpn] = IPTEntry{}
+	}
+}
+
+// incoming looks up the IPT entry for a receiver physical page.
+func (n *NIC) incoming(vpn int) (*IPTEntry, bool) {
+	if vpn < 0 || vpn >= len(n.ipt) || !n.ipt[vpn].Valid {
+		return nil, false
+	}
+	return &n.ipt[vpn], true
+}
 
 // wireSize is the on-the-wire size of a packet with payload n bytes.
 func (n *NIC) wireSize(payload int) int { return payload + n.cfg.HeaderBytes }
 
 // linkTime is the serialization time of b bytes at link bandwidth.
 func (n *NIC) linkTime(b int) sim.Time {
-	return sim.Time(float64(b) / n.cfg.LinkBandwidth * 1e9)
+	return sim.TransferTime(b, n.cfg.LinkBandwidth)
 }
 
 // eisaTime is the host-memory DMA time for b bytes over the I/O bus.
 func (n *NIC) eisaTime(b int) sim.Time {
-	return sim.Time(float64(b) / n.cfg.EISABandwidth * 1e9)
+	return sim.TransferTime(b, n.cfg.EISABandwidth)
 }

@@ -18,7 +18,7 @@ type rig struct {
 	acct0, acct1 *stats.Node
 }
 
-func newRig(t *testing.T, cfg Config) *rig {
+func newRig(t testing.TB, cfg Config) *rig {
 	t.Helper()
 	e := sim.NewEngine()
 	mc := mesh.DefaultConfig()

@@ -28,23 +28,23 @@ func (n *NIC) SendDU(p *sim.Proc, src, proxy memory.Addr, size int, interrupt, e
 	if proxy.Offset()+size > memory.PageSize {
 		panic(fmt.Sprintf("nic: DU destination %#x+%d crosses a page boundary", proxy, size))
 	}
-	ent, ok := n.opt[proxy.VPN()]
-	if !ok || !ent.Valid {
+	ent, ok := n.Outgoing(proxy.VPN())
+	if !ok {
 		panic(fmt.Sprintf("nic: DU through unmapped proxy page %d", proxy.VPN()))
 	}
 	for n.duSlots >= n.cfg.DUQueueDepth {
 		n.duCond.Wait(p)
 	}
 	n.duSlots++
-	n.duQueue.Push(&duRequest{
-		src:       src,
-		dstNode:   ent.DstNode,
-		dstPage:   ent.DstPage,
-		dstOffset: proxy.Offset(),
-		size:      size,
-		interrupt: interrupt,
-		endOfMsg:  endOfMsg,
-	})
+	req := n.allocDU()
+	req.src = src
+	req.dstNode = ent.DstNode
+	req.dstPage = ent.DstPage
+	req.dstOffset = proxy.Offset()
+	req.size = size
+	req.interrupt = interrupt
+	req.endOfMsg = endOfMsg
+	n.duQueue.Push(req)
 	n.acct.Counters.DUTransfers++
 	if endOfMsg {
 		n.acct.Counters.MessagesSent++
@@ -70,24 +70,33 @@ func (n *NIC) duEngine(p *sim.Proc) {
 	for {
 		req := n.duQueue.Pop(p)
 		p.Sleep(n.cfg.DMASetup)
-		data := make([]byte, req.size)
+		pkt := n.allocPacket()
+		pkt.Kind = DU
+		pkt.Src = n.id
+		pkt.DstPage = req.dstPage
+		pkt.DstOffset = req.dstOffset
+		pkt.Interrupt = req.interrupt
+		pkt.EndOfMsg = req.endOfMsg
+		pkt.Data = grow(pkt.Data, req.size)
 		n.bus.Acquire(p)
 		p.Sleep(n.eisaTime(req.size))
-		n.mem.DMARead(req.src, data)
+		n.mem.DMARead(req.src, pkt.Data)
 		n.bus.Release()
 		// The request slot frees once the data has left host memory.
 		n.duSlots--
 		n.duCond.Broadcast()
-		n.inject(p, &Packet{
-			Kind:      DU,
-			Src:       n.id,
-			DstPage:   req.dstPage,
-			DstOffset: req.dstOffset,
-			Data:      data,
-			Interrupt: req.interrupt,
-			EndOfMsg:  req.endOfMsg,
-		}, req.dstNode)
+		dst := req.dstNode
+		n.releaseDU(req)
+		n.inject(p, pkt, dst)
 	}
+}
+
+// grow resizes buf to n bytes, reusing its backing array when possible.
+func grow(buf []byte, n int) []byte {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]byte, n)
 }
 
 // inject serializes a packet onto the backplane through the NIC port.
@@ -95,7 +104,12 @@ func (n *NIC) inject(p *sim.Proc, pkt *Packet, dst mesh.NodeID) {
 	wire := n.wireSize(len(pkt.Data))
 	n.nicPort.Acquire(p)
 	p.Sleep(n.linkTime(wire))
-	n.net.Send(&mesh.Packet{Src: n.id, Dst: dst, Size: wire, Payload: pkt})
+	mp := n.net.Acquire()
+	mp.Src = n.id
+	mp.Dst = dst
+	mp.Size = wire
+	mp.Payload = pkt
+	n.net.Send(mp)
 	n.nicPort.Release()
 }
 
@@ -107,13 +121,17 @@ func (n *NIC) Snoop(addr memory.Addr, size int) {
 	if !n.cfg.AutomaticUpdate {
 		return
 	}
-	ent, ok := n.opt[addr.VPN()]
+	vpn := addr.VPN()
+	ent, ok := n.Outgoing(vpn)
 	if !ok || !ent.AUEnable {
 		return // snooped, but not AU-bound: ignored
 	}
 	// The snoop hardware sees individual bus transactions: a contiguous
-	// run of bytes arrives as a sequence of word-sized stores.
-	vpn := addr.VPN()
+	// run of bytes arrives as a sequence of word-sized stores. The word
+	// is handed to auStore as a view into the page itself; auStore
+	// copies it (into the combining buffer or a packet buffer) before
+	// returning, so no intermediate copy is allocated.
+	page := n.mem.PageData(vpn)
 	off := addr.Offset()
 	for size > 0 {
 		w := n.cfg.AUWordBytes
@@ -121,37 +139,38 @@ func (n *NIC) Snoop(addr memory.Addr, size int) {
 			w = size
 		}
 		n.acct.Counters.AUStores++
-		data := make([]byte, w)
-		copy(data, n.mem.PageData(vpn)[off:off+w])
-		n.auStore(ent, off, data)
+		n.auStore(vpn, ent, off, page[off:off+w])
 		off += w
 		size -= w
 	}
 }
 
 // auStore handles one snooped word-sized store to an AU-bound page.
-func (n *NIC) auStore(ent *OPTEntry, off int, data []byte) {
+// data is a transient view; it must be consumed before returning.
+func (n *NIC) auStore(vpn int, ent *OPTEntry, off int, data []byte) {
 	if !n.cfg.Combining || !ent.Combine {
 		// A non-combinable store must not overtake earlier combined
 		// stores: the snoop path preserves program order.
 		n.flushCombine()
-		n.emitAU(ent, off, data)
+		n.emitAU(ent.DstNode, ent.DstPage, off, ent.Interrupt, data)
 		return
 	}
 	c := &n.combine
-	if c.active && c.ent == ent && c.start+len(c.buf) == off && len(c.buf)+len(data) <= n.cfg.CombineLimit {
-		// Consecutive store: accumulate.
+	if c.active && c.page == vpn && c.ent == *ent &&
+		c.start+len(c.buf) == off && len(c.buf)+len(data) <= n.cfg.CombineLimit {
+		// Consecutive store under an unchanged mapping: accumulate.
 		c.buf = append(c.buf, data...)
 		c.timer.Cancel()
-		c.timer = n.e.NewTimer(n.cfg.CombineTimeout, n.flushCombine)
+		c.timer = n.e.NewTimer(n.cfg.CombineTimeout, n.flushFn)
 		return
 	}
 	n.flushCombine()
 	c.active = true
-	c.ent = ent
+	c.ent = *ent
+	c.page = vpn
 	c.start = off
 	c.buf = append(c.buf[:0], data...)
-	c.timer = n.e.NewTimer(n.cfg.CombineTimeout, n.flushCombine)
+	c.timer = n.e.NewTimer(n.cfg.CombineTimeout, n.flushFn)
 }
 
 // flushCombine emits the pending combined AU packet, if any.
@@ -160,36 +179,31 @@ func (n *NIC) flushCombine() {
 	if !c.active {
 		return
 	}
-	if c.timer != nil {
-		c.timer.Cancel()
-		c.timer = nil
-	}
-	data := make([]byte, len(c.buf))
-	copy(data, c.buf)
-	ent, start := c.ent, c.start
+	c.timer.Cancel()
+	c.timer = sim.Timer{}
 	c.active = false
-	c.ent = nil
+	n.emitAU(c.ent.DstNode, c.ent.DstPage, c.start, c.ent.Interrupt, c.buf)
 	c.buf = c.buf[:0]
-	n.emitAU(ent, start, data)
 }
 
-// emitAU creates an automatic-update packet. The packet reaches the
-// outgoing FIFO after the snoop path's board-crossing latency
-// (memory-bus board to EISA-bus board to OPT lookup to packetizer).
-func (n *NIC) emitAU(ent *OPTEntry, off int, data []byte) {
-	pkt := &Packet{
-		Kind:      AU,
-		Src:       n.id,
-		DstPage:   ent.DstPage,
-		DstOffset: off,
-		Data:      data,
-		Interrupt: ent.Interrupt,
-		EndOfMsg:  false,
-	}
+// emitAU creates an automatic-update packet carrying a copy of data.
+// The packet reaches the outgoing FIFO after the snoop path's
+// board-crossing latency (memory-bus board to EISA-bus board to OPT
+// lookup to packetizer).
+func (n *NIC) emitAU(dst mesh.NodeID, dstPage, off int, interrupt bool, data []byte) {
+	pkt := n.allocPacket()
+	pkt.Kind = AU
+	pkt.Src = n.id
+	pkt.DstPage = dstPage
+	pkt.DstOffset = off
+	pkt.Interrupt = interrupt
+	pkt.EndOfMsg = false
+	pkt.Data = append(pkt.Data[:0], data...)
+	pkt.fifoDst = dst
 	n.outAU++
 	n.acct.Counters.AUPackets++
 	n.acct.Counters.BytesSent += int64(len(data))
-	n.e.After(n.cfg.SnoopLatency, func() { n.fifoArrive(pkt, ent.DstNode) })
+	n.e.After(n.cfg.SnoopLatency, pkt.fifoFn)
 }
 
 // fifoArrive enqueues an AU packet into the outgoing FIFO and applies

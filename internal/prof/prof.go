@@ -1,0 +1,71 @@
+// Package prof wires Go's runtime profilers to command-line flags. Both
+// binaries expose -cpuprofile, -memprofile and -blockprofile through it,
+// so a hot run can be inspected with `go tool pprof` without editing the
+// source or wrapping the workload in a test.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by non-empty paths and returns a
+// stop function that must run exactly once before the process exits
+// (typically via defer in main). An empty path disables that profiler,
+// so Start("", "", "") is a no-op returning a no-op stop.
+//
+// The CPU profile streams while the workload runs; the heap profile is a
+// point-in-time snapshot written at stop after a forced GC, so it shows
+// steady-state retention rather than transient garbage; the block
+// profile records everything from Start to stop with full sampling
+// (rate 1), which is affordable here because the simulator parks on
+// channels in a controlled way.
+func Start(cpuPath, memPath, blockPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	if blockPath != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			writeProfile("heap", memPath, true)
+		}
+		if blockPath != "" {
+			writeProfile("block", blockPath, false)
+			runtime.SetBlockProfileRate(0)
+		}
+	}, nil
+}
+
+// writeProfile snapshots a named runtime profile to path, reporting
+// failures on stderr rather than aborting: a profile write error at exit
+// must not discard the workload's results.
+func writeProfile(name, path string, gcFirst bool) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if gcFirst {
+		runtime.GC() // flush recently freed objects out of the heap profile
+	}
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "prof: write %s profile: %v\n", name, err)
+	}
+}

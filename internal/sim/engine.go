@@ -447,19 +447,22 @@ func (e *Engine) RunUntil(deadline Time) Time {
 // the pending calendar.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Timer is a cancelable scheduled callback.
+// Timer is a cancelable scheduled callback. It is a small value type so
+// that re-arming a timer in a hot path (the NIC's combining timeout does
+// this once per snooped store) performs no heap allocation; the zero
+// Timer is valid and Cancel on it is a no-op.
 type Timer struct {
 	ev  *event
 	seq uint64
 }
 
 // NewTimer schedules fn to run after d; the returned Timer can cancel it.
-func (e *Engine) NewTimer(d Time, fn func()) *Timer {
+func (e *Engine) NewTimer(d Time, fn func()) Timer {
 	ev := e.alloc()
 	ev.t = e.now + d
 	ev.fn = fn
 	e.push(ev)
-	return &Timer{ev: ev, seq: ev.seq}
+	return Timer{ev: ev, seq: ev.seq}
 }
 
 // Cancel prevents the timer from firing. Canceling an already-fired or

@@ -77,7 +77,7 @@ func TestTimerCancelSameInstant(t *testing.T) {
 	t.Run("cancel-scheduled-first", func(t *testing.T) {
 		e := NewEngine()
 		fired := false
-		var tm *Timer
+		var tm Timer
 		e.At(40, func() {
 			e.At(50, func() {
 				if !tm.Cancel() {
@@ -94,7 +94,7 @@ func TestTimerCancelSameInstant(t *testing.T) {
 	t.Run("timer-scheduled-first", func(t *testing.T) {
 		e := NewEngine()
 		fired := false
-		var tm *Timer
+		var tm Timer
 		e.At(40, func() {
 			tm = e.NewTimer(10, func() { fired = true })
 			e.At(50, func() {

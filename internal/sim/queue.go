@@ -3,8 +3,14 @@ package sim
 // Queue is an unbounded FIFO that simulation processes can block on.
 // Pushing is legal from any context (engine callbacks or processes);
 // popping blocks the calling process until an item is available.
+//
+// The FIFO is a slice plus a head index rather than a rolling reslice:
+// whenever the queue drains, the slice resets to its full capacity, so a
+// queue that is filled and emptied in steady state (the NIC FIFOs, the
+// DU request queue, the receive queue) allocates nothing after warmup.
 type Queue[T any] struct {
 	items []T
+	head  int
 	cond  *Cond
 }
 
@@ -21,37 +27,42 @@ func (q *Queue[T]) Push(v T) {
 
 // Pop removes and returns the head item, blocking p until one exists.
 func (q *Queue[T]) Pop(p *Proc) T {
-	for len(q.items) == 0 {
+	for q.head == len(q.items) {
 		q.cond.Wait(p)
 	}
-	v := q.items[0]
+	return q.take()
+}
+
+// take removes the head item, recycling the backing slice on drain.
+func (q *Queue[T]) take() T {
+	v := q.items[q.head]
 	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return v
 }
 
 // TryPop removes and returns the head item without blocking.
 func (q *Queue[T]) TryPop() (T, bool) {
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		var zero T
 		return zero, false
 	}
-	v := q.items[0]
-	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v, true
+	return q.take(), true
 }
 
 // Peek returns the head item without removing it.
 func (q *Queue[T]) Peek() (T, bool) {
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		var zero T
 		return zero, false
 	}
-	return q.items[0], true
+	return q.items[q.head], true
 }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }

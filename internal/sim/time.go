@@ -27,6 +27,23 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Micros reports t as a floating-point number of microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
+// TransferTime returns the time to move n bytes at bandwidth bytes per
+// second. It is the single home of the bytes/bandwidth arithmetic used
+// by every hardware model (mesh link serialization, NIC link pacing,
+// EISA DMA, memory copies), so all of them round identically.
+func TransferTime(n int, bandwidth float64) Time {
+	return Time(float64(n) / bandwidth * 1e9)
+}
+
+// AbsInt returns the absolute value of v (coordinate arithmetic for
+// mesh distances; Go has no builtin integer abs).
+func AbsInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
 // String formats the time with an adaptive unit.
 func (t Time) String() string {
 	switch {

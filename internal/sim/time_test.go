@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+// TransferTime and AbsInt are the shared arithmetic helpers the mesh,
+// NIC and machine cost models all route through; this pins their
+// semantics so a drift in one layer cannot silently diverge the others.
+func TestTransferTime(t *testing.T) {
+	cases := []struct {
+		n         int
+		bandwidth float64
+		want      Time
+	}{
+		{200, 200e6, 1000},      // 200 B at 200 MB/s = 1 us
+		{1, 200e6, 5},           // one byte = 5 ns
+		{4096, 45e6, 91022},     // a 4 KB page over 45 MB/s memcpy
+		{32, 32e6, 1000},        // EISA-class burst
+		{0, 200e6, 0},           // empty transfer is free
+		{1000000, 1e9, 1000000}, // 1 MB at 1 GB/s = 1 ms
+	}
+	for _, c := range cases {
+		if got := TransferTime(c.n, c.bandwidth); got != c.want {
+			t.Errorf("TransferTime(%d, %g) = %d, want %d", c.n, c.bandwidth, got, c.want)
+		}
+	}
+}
+
+func TestAbsInt(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 0}, {1, 1}, {-1, 1}, {42, 42}, {-42, 42},
+	}
+	for _, c := range cases {
+		if got := AbsInt(c.in); got != c.want {
+			t.Errorf("AbsInt(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

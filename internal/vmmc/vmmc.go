@@ -33,10 +33,9 @@ func NewSystem(m *machine.Machine) *System {
 	s := &System{M: m}
 	for _, nd := range m.Nodes {
 		ep := &Endpoint{
-			Node:         nd,
-			sys:          s,
-			pageToExport: make(map[int]*Export),
-			recvCond:     sim.NewCond(m.E),
+			Node:     nd,
+			sys:      s,
+			recvCond: sim.NewCond(m.E),
 		}
 		nd.NIC.OnDeliver = ep.onDeliver
 		nd.SetNotifyDispatch(ep.dispatchNotify)
@@ -53,7 +52,11 @@ type Endpoint struct {
 	Node *machine.Node
 	sys  *System
 
-	pageToExport map[int]*Export
+	// pageToExport maps a local vpn to the export covering it. It is a
+	// dense slice rather than a map because onDeliver consults it once
+	// per arriving packet: address spaces are small and contiguous, so
+	// the index replaces a map hash on the delivery hot path.
+	pageToExport []*Export
 	nextExport   int
 
 	deliveries int64
@@ -125,6 +128,9 @@ func (ep *Endpoint) Export(p *sim.Proc, npages int) *Export {
 		recvCond: sim.NewCond(ep.Node.M.E),
 	}
 	ep.nextExport++
+	for len(ep.pageToExport) <= base.VPN()+npages-1 {
+		ep.pageToExport = append(ep.pageToExport, nil)
+	}
 	for i := 0; i < npages; i++ {
 		vpn := base.VPN() + i
 		ep.Node.NIC.SetIncoming(vpn, false)
@@ -321,11 +327,20 @@ func (ep *Endpoint) UnblockNotifications() {
 	}
 }
 
+// exportFor resolves the export covering a local vpn, or nil.
+func (ep *Endpoint) exportFor(vpn int) *Export {
+	if vpn < 0 || vpn >= len(ep.pageToExport) {
+		return nil
+	}
+	return ep.pageToExport[vpn]
+}
+
 // onDeliver runs in the NIC receive engine after a packet's payload is
-// in memory: bump delivery counts and wake pollers.
+// in memory: bump delivery counts and wake pollers. The packet is only
+// valid for the duration of the call (it recycles into the NIC's pool).
 func (ep *Endpoint) onDeliver(pkt *nic.Packet) {
-	ex, ok := ep.pageToExport[pkt.DstPage]
-	if !ok {
+	ex := ep.exportFor(pkt.DstPage)
+	if ex == nil {
 		return
 	}
 	ex.deliveries++
@@ -345,8 +360,8 @@ func (ep *Endpoint) dispatchNotify(p *sim.Proc, pkt *nic.Packet) {
 }
 
 func (ep *Endpoint) deliverNotify(p *sim.Proc, pkt *nic.Packet) {
-	ex, ok := ep.pageToExport[pkt.DstPage]
-	if !ok || ex.notify == nil {
+	ex := ep.exportFor(pkt.DstPage)
+	if ex == nil || ex.notify == nil {
 		return
 	}
 	ep.Node.Acct.Counters.Notifications++
