@@ -5,16 +5,20 @@
 // Independent simulation cells (app x variant x node-count) run on a
 // worker pool; -parallel controls its width. Results are collected by
 // cell index, so output is deterministic and byte-identical whatever the
-// worker count.
+// worker count — including trace exports, which are stamped with
+// simulated time only.
 //
 // Usage:
 //
-//	shrimpbench [-exp all|table1|figure3|figure4svm|figure4audu|table2|
+//	shrimpbench [-exp list|all|table1|figure3|figure4svm|figure4audu|table2|
 //	             table3|table4|combining|fifo|duqueue|perpacket|latency]
 //	            [-nodes N] [-quick] [-parallel N] [-json]
+//	            [-trace FILE] [-trace-ndjson FILE] [-trace-filter KINDS]
+//	            [-trace-max N] [-metrics]
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -24,21 +28,107 @@ import (
 
 	"shrimp/internal/harness"
 	"shrimp/internal/prof"
+	"shrimp/internal/trace"
 )
 
+// emitFunc renders one experiment's rows (text table or JSON records).
+type emitFunc func(name string, rows any, print func())
+
+// experiments lists every driver in report order, with the one-line
+// descriptions `-exp list` prints.
+var experiments = []struct {
+	name, desc string
+	run        func(cfg harness.Config, w io.Writer, emit emitFunc)
+}{
+	{"latency", "§4.1/§4.2 microbenchmarks: DU/AU message latency and send overhead",
+		func(cfg harness.Config, w io.Writer, emit emitFunc) {
+			got := harness.Latency()
+			emit("latency", got, func() { harness.PrintLatency(w, got) })
+		}},
+	{"table1", "Table 1: applications, problem sizes, sequential execution times",
+		func(cfg harness.Config, w io.Writer, emit emitFunc) {
+			rows := harness.Table1(cfg)
+			emit("table1", rows, func() { harness.PrintTable1(w, rows, &cfg.Workloads) })
+		}},
+	{"figure3", "Figure 3: speedup curves, better of AU/DU per application",
+		func(cfg harness.Config, w io.Writer, emit emitFunc) {
+			curves := harness.Figure3(cfg)
+			emit("figure3", curves, func() { harness.PrintFigure3(w, curves) })
+		}},
+	{"figure4svm", "Figure 4 (left): HLRC vs HLRC-AU vs AURC protocol comparison",
+		func(cfg harness.Config, w io.Writer, emit emitFunc) {
+			rows := harness.Figure4SVM(cfg)
+			emit("figure4svm", rows, func() { harness.PrintFigure4SVM(w, rows) })
+		}},
+	{"figure4audu", "Figure 4 (right): automatic vs deliberate update per application",
+		func(cfg harness.Config, w io.Writer, emit emitFunc) {
+			rows := harness.Figure4AUDU(cfg)
+			emit("figure4audu", rows, func() { harness.PrintFigure4AUDU(w, rows) })
+		}},
+	{"table2", "Table 2: cost of a kernel trap on every message send",
+		func(cfg harness.Config, w io.Writer, emit emitFunc) {
+			rows := harness.Table2(cfg)
+			emit("table2", rows, func() {
+				harness.PrintWhatIf(w, "Table 2: system call per message send", rows)
+			})
+		}},
+	{"table3", "Table 3: notification counts vs total messages",
+		func(cfg harness.Config, w io.Writer, emit emitFunc) {
+			rows := harness.Table3(cfg)
+			emit("table3", rows, func() { harness.PrintTable3(w, rows) })
+		}},
+	{"table4", "Table 4: cost of an interrupt on every arriving message",
+		func(cfg harness.Config, w io.Writer, emit emitFunc) {
+			rows := harness.Table4(cfg)
+			emit("table4", rows, func() {
+				harness.PrintWhatIf(w, "Table 4: interrupt per arriving message", rows)
+			})
+		}},
+	{"combining", "§4.5.1: automatic-update combining on vs off",
+		func(cfg harness.Config, w io.Writer, emit emitFunc) {
+			rows := harness.Combining(cfg)
+			emit("combining", rows, func() { harness.PrintCombining(w, rows) })
+		}},
+	{"fifo", "§4.5.2: outgoing FIFO capacity, 32 KB vs 1 KB",
+		func(cfg harness.Config, w io.Writer, emit emitFunc) {
+			rows := harness.FIFO(cfg)
+			emit("fifo", rows, func() { harness.PrintFIFO(w, rows) })
+		}},
+	{"duqueue", "§4.5.3: deliberate-update request queue, depth 1 vs 2",
+		func(cfg harness.Config, w io.Writer, emit emitFunc) {
+			rows := harness.DUQueue(cfg)
+			emit("duqueue", rows, func() { harness.PrintDUQueue(w, rows) })
+		}},
+	{"perpacket", "Extension (§4.4): interrupt per packet vs per message",
+		func(cfg harness.Config, w io.Writer, emit emitFunc) {
+			rows := harness.InterruptPerPacket(cfg)
+			emit("perpacket", rows, func() { harness.PrintPerPacket(w, rows) })
+		}},
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (comma separated)")
+	exp := flag.String("exp", "all", "experiment to run (comma separated; \"list\" prints the catalog)")
 	nodes := flag.Int("nodes", 16, "machine size (the paper's system is 16 nodes)")
 	quick := flag.Bool("quick", false, "use tiny problem sizes (fast smoke run)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"simulation cells to run concurrently (1 = serial; results are identical either way)")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per table/figure row instead of text")
-	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
-	blockProf := flag.String("blockprofile", "", "write a blocking profile to this file at exit")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline of every cell to this file")
+	traceNDJSON := flag.String("trace-ndjson", "", "write the raw trace event stream as NDJSON to this file")
+	traceFilter := flag.String("trace-filter", "", "comma-separated event kinds to trace (default: all)")
+	traceMax := flag.Int("trace-max", 1<<20, "max trace events kept per cell (0 = unlimited)")
+	metrics := flag.Bool("metrics", false, "print per-cell latency histograms and link utilization")
+	profFlags := prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProf, *memProf, *blockProf)
+	if *exp == "list" {
+		for _, e := range experiments {
+			fmt.Printf("%-12s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	stopProf, err := profFlags.Start()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
 		os.Exit(1)
@@ -50,6 +140,24 @@ func main() {
 	cfg.Workers = *parallel
 	if *quick {
 		cfg.Workloads = harness.QuickWorkloads()
+	}
+
+	// Trace collection: every cell records; recorders arrive at the sink
+	// in cell order, so the exports are byte-identical for any -parallel.
+	var recs []*trace.Recorder
+	var labels []string
+	curExp := ""
+	if *traceFile != "" || *traceNDJSON != "" || *metrics {
+		mask, err := trace.ParseFilter(*traceFilter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Trace = &trace.Options{Filter: mask, MaxEvents: *traceMax}
+		cfg.TraceSink = func(cell harness.Spec, rec *trace.Recorder) {
+			recs = append(recs, rec)
+			labels = append(labels, curExp+"/"+cell.Label())
+		}
 	}
 
 	selected := map[string]bool{}
@@ -79,61 +187,54 @@ func main() {
 			cfg.Nodes, cfg.Workloads.Note)
 	}
 
-	if want("latency") {
-		got := harness.Latency()
-		emit("latency", got, func() { harness.PrintLatency(w, got) })
-	}
-	if want("table1") {
-		rows := harness.Table1(cfg)
-		emit("table1", rows, func() { harness.PrintTable1(w, rows, &cfg.Workloads) })
-	}
-	if want("figure3") {
-		curves := harness.Figure3(cfg)
-		emit("figure3", curves, func() { harness.PrintFigure3(w, curves) })
-	}
-	if want("figure4svm") {
-		rows := harness.Figure4SVM(cfg)
-		emit("figure4svm", rows, func() { harness.PrintFigure4SVM(w, rows) })
-	}
-	if want("figure4audu") {
-		rows := harness.Figure4AUDU(cfg)
-		emit("figure4audu", rows, func() { harness.PrintFigure4AUDU(w, rows) })
-	}
-	if want("table2") {
-		rows := harness.Table2(cfg)
-		emit("table2", rows, func() {
-			harness.PrintWhatIf(w, "Table 2: system call per message send", rows)
-		})
-	}
-	if want("table3") {
-		rows := harness.Table3(cfg)
-		emit("table3", rows, func() { harness.PrintTable3(w, rows) })
-	}
-	if want("table4") {
-		rows := harness.Table4(cfg)
-		emit("table4", rows, func() {
-			harness.PrintWhatIf(w, "Table 4: interrupt per arriving message", rows)
-		})
-	}
-	if want("combining") {
-		rows := harness.Combining(cfg)
-		emit("combining", rows, func() { harness.PrintCombining(w, rows) })
-	}
-	if want("fifo") {
-		rows := harness.FIFO(cfg)
-		emit("fifo", rows, func() { harness.PrintFIFO(w, rows) })
-	}
-	if want("duqueue") {
-		rows := harness.DUQueue(cfg)
-		emit("duqueue", rows, func() { harness.PrintDUQueue(w, rows) })
-	}
-	if want("perpacket") {
-		rows := harness.InterruptPerPacket(cfg)
-		emit("perpacket", rows, func() { harness.PrintPerPacket(w, rows) })
+	for _, e := range experiments {
+		if !want(e.name) {
+			continue
+		}
+		curExp = e.name
+		e.run(cfg, w, emit)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "shrimpbench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *metrics {
+		for i, rec := range recs {
+			fmt.Fprintln(w)
+			trace.WriteSummary(w, rec, labels[i])
+		}
+	}
+	writeTraces(*traceFile, *traceNDJSON, recs, labels)
+}
+
+// writeTraces renders the collected recorders to the requested files.
+func writeTraces(chromePath, ndjsonPath string, recs []*trace.Recorder, labels []string) {
+	write := func(path string, render func(w io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		if err := render(bw); err == nil {
+			err = bw.Flush()
+		} else {
+			bw.Flush()
+		}
+		if err2 := f.Close(); err == nil {
+			err = err2
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpbench: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+	if chromePath != "" {
+		write(chromePath, func(w io.Writer) error { return trace.WriteChrome(w, recs, labels) })
+	}
+	if ndjsonPath != "" {
+		write(ndjsonPath, func(w io.Writer) error { return trace.WriteNDJSON(w, recs, labels) })
 	}
 }

@@ -14,11 +14,15 @@
 //	          [-nodes N] [-variant au|du] [-protocol hlrc|hlrc-au|aurc]
 //	          [-syscall] [-intmsg] [-nocombine] [-fifo bytes] [-duqueue N]
 //	          [-parallel N] [-quick]
+//	          [-trace FILE] [-trace-ndjson FILE] [-trace-filter KINDS]
+//	          [-trace-max N] [-metrics]
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -28,6 +32,7 @@ import (
 	"shrimp/internal/prof"
 	"shrimp/internal/stats"
 	"shrimp/internal/svm"
+	"shrimp/internal/trace"
 )
 
 var appByName = map[string]harness.App{
@@ -54,17 +59,30 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"apps to simulate concurrently when several are named")
 	quick := flag.Bool("quick", false, "use tiny problem sizes")
-	cpuProf := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProf := flag.String("memprofile", "", "write a heap profile to this file at exit")
-	blockProf := flag.String("blockprofile", "", "write a blocking profile to this file at exit")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	traceNDJSON := flag.String("trace-ndjson", "", "write the raw trace event stream as NDJSON to this file")
+	traceFilter := flag.String("trace-filter", "", "comma-separated event kinds to trace (default: all)")
+	traceMax := flag.Int("trace-max", 1<<20, "max trace events kept per app (0 = unlimited)")
+	metrics := flag.Bool("metrics", false, "print per-app latency histograms and link utilization")
+	profFlags := prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProf, *memProf, *blockProf)
+	stopProf, err := profFlags.Start()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "shrimpsim: %v\n", err)
 		os.Exit(1)
 	}
 	defer stopProf()
+
+	var traceOpts *trace.Options
+	if *traceFile != "" || *traceNDJSON != "" || *metrics {
+		mask, err := trace.ParseFilter(*traceFilter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpsim: %v\n", err)
+			os.Exit(2)
+		}
+		traceOpts = &trace.Options{Filter: mask, MaxEvents: *traceMax}
+	}
 
 	var apps []harness.App
 	for _, name := range strings.Split(*appNames, ",") {
@@ -123,6 +141,7 @@ func main() {
 				c.NIC.DUQueueDepth = *duq
 			}
 		}
+		spec.Trace = traceOpts
 		cells = append(cells, spec)
 	}
 
@@ -137,6 +156,52 @@ func main() {
 			fmt.Println()
 		}
 		report(app, *nodes, &wl, results[i])
+		if *metrics && results[i].Trace != nil {
+			fmt.Println()
+			trace.WriteSummary(os.Stdout, results[i].Trace, cells[i].Label())
+		}
+	}
+
+	if traceOpts != nil {
+		var recs []*trace.Recorder
+		var labels []string
+		for i := range results {
+			if results[i].Trace != nil {
+				recs = append(recs, results[i].Trace)
+				labels = append(labels, cells[i].Label())
+			}
+		}
+		writeTraces(*traceFile, *traceNDJSON, recs, labels)
+	}
+}
+
+// writeTraces renders the collected recorders to the requested files.
+func writeTraces(chromePath, ndjsonPath string, recs []*trace.Recorder, labels []string) {
+	write := func(path string, render func(w io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpsim: %v\n", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		if err := render(bw); err == nil {
+			err = bw.Flush()
+		} else {
+			bw.Flush()
+		}
+		if err2 := f.Close(); err == nil {
+			err = err2
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpsim: writing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+	if chromePath != "" {
+		write(chromePath, func(w io.Writer) error { return trace.WriteChrome(w, recs, labels) })
+	}
+	if ndjsonPath != "" {
+		write(ndjsonPath, func(w io.Writer) error { return trace.WriteNDJSON(w, recs, labels) })
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"shrimp/internal/machine"
 	"shrimp/internal/sim"
 	"shrimp/internal/svm"
+	"shrimp/internal/trace"
 )
 
 // Paper reference values (from the paper's tables; entries of -1 were
@@ -52,6 +53,13 @@ type Config struct {
 	// results are deterministic and identical to a serial run: cells are
 	// independent simulations collected by index.
 	Workers int
+	// Trace, when non-nil, attaches a recorder to every cell the sweep
+	// runs (cells that already request their own tracing keep it).
+	Trace *trace.Options
+	// TraceSink receives each traced cell's recorder after its driver's
+	// cells complete, in cell order — deterministic for any Workers
+	// setting. Nil discards the recorders.
+	TraceSink func(cell Spec, rec *trace.Recorder)
 }
 
 // DefaultExperimentConfig mirrors the paper's 16-node system.

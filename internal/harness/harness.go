@@ -21,6 +21,7 @@ import (
 	"shrimp/internal/socketlib"
 	"shrimp/internal/stats"
 	"shrimp/internal/svm"
+	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 )
 
@@ -176,6 +177,19 @@ type Spec struct {
 	Protocol *svm.Protocol
 	// Knobs applied to the machine configuration.
 	Mutate func(*machine.Config)
+	// Trace, when non-nil, attaches a fresh trace.Recorder to the cell's
+	// machine; the populated recorder comes back in Result.Trace.
+	Trace *trace.Options
+}
+
+// Label renders a deterministic human-readable cell identity, used as
+// the per-cell track label in trace exports.
+func (s Spec) Label() string {
+	v := s.Variant.String()
+	if s.Protocol != nil {
+		v = s.Protocol.String()
+	}
+	return fmt.Sprintf("%s/%s/n%d", s.App, v, s.Nodes)
 }
 
 // Result is one run's outcome.
@@ -184,6 +198,10 @@ type Result struct {
 	Breakdown stats.Breakdown
 	Counters  stats.Counters
 	FIFOHigh  int
+	// Trace is the cell's populated recorder when Spec.Trace requested
+	// one (nil otherwise). It is excluded from JSON output and — being
+	// nil in all untraced runs — keeps Result comparable with ==.
+	Trace *trace.Recorder `json:"-"`
 }
 
 // svmRegionBytes sizes the shared region for an SVM application.
@@ -205,6 +223,9 @@ func Run(spec Spec, w *Workloads) Result {
 	cfg := machine.DefaultConfig(spec.Nodes)
 	if spec.Mutate != nil {
 		spec.Mutate(&cfg)
+	}
+	if spec.Trace != nil {
+		cfg.Trace = trace.NewRecorder(*spec.Trace)
 	}
 	m := machine.New(cfg)
 	defer m.Close()
@@ -265,11 +286,15 @@ func Run(spec Spec, w *Workloads) Result {
 		Elapsed:   elapsed,
 		Breakdown: m.Acct.TotalBreakdown(),
 		Counters:  m.Acct.TotalCounters(),
+		Trace:     cfg.Trace,
 	}
 	for _, nd := range m.Nodes {
 		if hw := nd.NIC.FIFOHighWater(); hw > res.FIFOHigh {
 			res.FIFOHigh = hw
 		}
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.SetLinkUtil(m.Net.LinkUtil(m.E.Now()))
 	}
 	return res
 }

@@ -50,7 +50,24 @@ func RunCells(cells []Spec, workers int, w *Workloads) []Result {
 	return results
 }
 
-// runCells runs cells under the sweep's configured worker count.
+// runCells runs cells under the sweep's configured worker count,
+// attaching trace recorders and draining them to the sink (in cell
+// order, so trace output is independent of the worker count).
 func (cfg *Config) runCells(cells []Spec) []Result {
-	return RunCells(cells, cfg.Workers, &cfg.Workloads)
+	if cfg.Trace != nil {
+		for i := range cells {
+			if cells[i].Trace == nil {
+				cells[i].Trace = cfg.Trace
+			}
+		}
+	}
+	results := RunCells(cells, cfg.Workers, &cfg.Workloads)
+	if cfg.TraceSink != nil {
+		for i := range results {
+			if results[i].Trace != nil {
+				cfg.TraceSink(cells[i], results[i].Trace)
+			}
+		}
+	}
+	return results
 }

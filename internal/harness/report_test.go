@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"shrimp/internal/sim"
+	"shrimp/internal/svm"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the report golden files")
+
+// checkGolden compares rendered report text against its golden file in
+// testdata/, regenerating it under -update. The Print* functions feed
+// both the terminal and the CI artifacts, so their exact layout is
+// part of the repo's contract; this catches accidental format drift.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run `go test -run TestReportGolden -update ./internal/harness`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+const msec = sim.Millisecond
+
+func TestReportGolden(t *testing.T) {
+	hlrc, hlrcau, aurc := svm.HLRC, svm.HLRCAU, svm.AURC
+	_ = hlrcau
+
+	cases := []struct {
+		name  string
+		print func(w *bytes.Buffer)
+	}{
+		{"table1", func(w *bytes.Buffer) {
+			wl := QuickWorkloads()
+			PrintTable1(w, []Table1Row{
+				{App: BarnesSVM, API: "SVM", Size: "2K bodies", SeqTime: 12345 * msec, PaperSec: 14.2},
+				{App: OceanNX, API: "NX", Size: "130x130", SeqTime: 2500 * msec, PaperSec: -1},
+			}, &wl)
+		}},
+		{"figure3", func(w *bytes.Buffer) {
+			PrintFigure3(w, []Figure3Curve{
+				{App: OceanNX, Variant: VariantAU, Nodes: []int{1, 2, 4, 8},
+					Speedups: []float64{1, 1.92, 3.6, 6.55}},
+				{App: RadixSVM, Variant: VariantDU, Nodes: []int{1, 2, 4, 8},
+					Speedups: []float64{1, 1.7, 2.9, 4.25}},
+			})
+			PrintFigure3(w, nil) // empty input renders just the header
+		}},
+		{"figure4svm", func(w *bytes.Buffer) {
+			rows := []Figure4SVMRow{
+				{App: BarnesSVM, Protocol: hlrc, Elapsed: 1000 * msec,
+					Breakdown: [5]float64{0.60, 0.20, 0.10, 0.05, 0.05}},
+				{App: BarnesSVM, Protocol: aurc, Elapsed: 900 * msec,
+					Breakdown: [5]float64{0.60, 0.15, 0.08, 0.04, 0.03}},
+				{App: OceanSVM, Protocol: hlrc, Elapsed: 2000 * msec,
+					Breakdown: [5]float64{0.50, 0.25, 0.10, 0.10, 0.05}},
+				{App: OceanSVM, Protocol: aurc, Elapsed: 1400 * msec,
+					Breakdown: [5]float64{0.50, 0.10, 0.05, 0.03, 0.02}},
+				{App: RadixSVM, Protocol: hlrc, Elapsed: 3000 * msec,
+					Breakdown: [5]float64{0.30, 0.40, 0.10, 0.15, 0.05}},
+				{App: RadixSVM, Protocol: aurc, Elapsed: 1500 * msec,
+					Breakdown: [5]float64{0.30, 0.10, 0.05, 0.04, 0.01}},
+			}
+			PrintFigure4SVM(w, rows)
+		}},
+		{"figure4audu", func(w *bytes.Buffer) {
+			PrintFigure4AUDU(w, []Figure4AUDURow{
+				{App: RadixVMMC, ElapsedAU: 500 * msec, ElapsedDU: 1700 * msec,
+					AUSpeedup: 3.4, PaperNote: "paper: 3.4x"},
+			})
+		}},
+		{"whatif", func(w *bytes.Buffer) {
+			PrintWhatIf(w, "Table 2: system call per message send", []WhatIfRow{
+				{App: RadixVMMC, Baseline: 500 * msec, Modified: 560 * msec,
+					Percent: 12.0, Paper: 11.8},
+				{App: DFSSockets, Baseline: 800 * msec, Modified: 850 * msec,
+					Percent: 6.3, Paper: -1},
+			})
+		}},
+		{"table3", func(w *bytes.Buffer) {
+			PrintTable3(w, []Table3Row{
+				{App: BarnesSVM, Notifications: 1200, Messages: 56000, Percent: 2.1,
+					PaperNotif: 1300, PaperMsgs: 60000},
+				{App: RenderSockets, Notifications: 0, Messages: 900, Percent: 0,
+					PaperNotif: 0, PaperMsgs: 0},
+			})
+		}},
+		{"combining", func(w *bytes.Buffer) {
+			PrintCombining(w, []CombiningRow{
+				{Name: "Radix-VMMC", With: 500 * msec, Without: 510 * msec,
+					Percent: 2.0, PaperNote: "paper: negligible"},
+				{Name: "DFS (AU-forced)", With: 700 * msec, Without: 1400 * msec,
+					Percent: 100.0, PaperNote: "paper: ~2x"},
+			})
+		}},
+		{"fifo", func(w *bytes.Buffer) {
+			PrintFIFO(w, []FIFORow{
+				{App: RadixVMMC, Large: 500 * msec, Small: 501 * msec,
+					Percent: 0.2, HighWater: 4096},
+			})
+		}},
+		{"duqueue", func(w *bytes.Buffer) {
+			PrintDUQueue(w, []DUQueueRow{
+				{App: BarnesSVM, Depth1: 1000 * msec, Depth2: 995 * msec, Percent: 0.5},
+			})
+		}},
+		{"latency", func(w *bytes.Buffer) {
+			PrintLatency(w, LatencyResult{
+				DUSmall:      6100 * sim.Nanosecond,
+				AUWord:       3700 * sim.Nanosecond,
+				SendOverhead: 1500 * sim.Nanosecond,
+				MyrinetLike:  9800 * sim.Nanosecond,
+			})
+		}},
+		{"perpacket", func(w *bytes.Buffer) {
+			PrintPerPacket(w, []PerPacketRow{
+				{App: OceanNX, Baseline: 2000 * msec, PerMessage: 2100 * msec,
+					PerPacket: 2300 * msec, MsgPct: 5.0, PktPct: 15.0},
+			})
+		}},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			c.print(&buf)
+			checkGolden(t, "report_"+c.name, buf.Bytes())
+		})
+	}
+}
+
+// TestEmitJSONFraming pins the NDJSON contract of `shrimpbench -json`:
+// one self-describing object per row, slices fanned out line by line.
+func TestEmitJSONFraming(t *testing.T) {
+	rows := []Table3Row{
+		{App: BarnesSVM, Notifications: 12, Messages: 340, Percent: 3.5,
+			PaperNotif: 13, PaperMsgs: 350},
+		{App: OceanSVM, Notifications: 7, Messages: 120, Percent: 5.8,
+			PaperNotif: 8, PaperMsgs: 130},
+	}
+	var buf bytes.Buffer
+	if err := EmitJSON(&buf, "table3", rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(rows) {
+		t.Fatalf("%d lines for %d rows:\n%s", len(lines), len(rows), buf.String())
+	}
+	for i, line := range lines {
+		var rec struct {
+			Experiment string          `json:"experiment"`
+			Row        json.RawMessage `json:"row"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d invalid JSON: %v\n%s", i, err, line)
+		}
+		if rec.Experiment != "table3" {
+			t.Fatalf("line %d experiment %q", i, rec.Experiment)
+		}
+		// App serializes as a display-name string, so decode into a
+		// shadow struct rather than Table3Row itself.
+		var row struct {
+			App           string
+			Notifications int64
+			Messages      int64
+		}
+		if err := json.Unmarshal(rec.Row, &row); err != nil {
+			t.Fatalf("line %d row does not round-trip: %v", i, err)
+		}
+		if row.Notifications != rows[i].Notifications || row.Messages != rows[i].Messages {
+			t.Fatalf("line %d row %+v != fixture %+v", i, row, rows[i])
+		}
+		// App serializes as its display name, not an enum ordinal.
+		if !strings.Contains(line, `"App":"`+rows[i].App.String()+`"`) {
+			t.Fatalf("line %d App not serialized by name: %s", i, line)
+		}
+	}
+
+	// A non-slice value emits exactly one record.
+	buf.Reset()
+	if err := EmitJSON(&buf, "latency", LatencyResult{DUSmall: 6 * sim.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimRight(buf.String(), "\n")
+	if strings.Count(out, "\n") != 0 {
+		t.Fatalf("single struct emitted multiple lines:\n%s", buf.String())
+	}
+	if !strings.Contains(out, `"experiment":"latency"`) {
+		t.Fatalf("record missing experiment tag: %s", out)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"shrimp/internal/nic"
 	"shrimp/internal/sim"
 	"shrimp/internal/stats"
+	"shrimp/internal/trace"
 )
 
 // Config describes a SHRIMP system to build.
@@ -23,6 +24,11 @@ type Config struct {
 	// MaxAccum bounds unflushed CPU time before automatic-update stores
 	// force a flush (keeps AU packet timing honest).
 	MaxAccum sim.Time
+	// Trace, when non-nil, is attached to the engine before any device
+	// is constructed, so every layer caches it and emits trace events.
+	// Nil (the default) keeps every hot path on its zero-cost nil-check
+	// branch.
+	Trace *trace.Recorder
 }
 
 // DefaultConfig returns an n-node SHRIMP system as built (AU enabled,
@@ -92,6 +98,9 @@ func New(cfg Config) *Machine {
 		cfg.NIC.InterruptStall = cfg.Cost.InterruptCost
 	}
 	e := sim.NewEngine()
+	// The tracer must be attached before any device is built: mesh and
+	// NIC construction cache e.Tracer() into their hot-path fields.
+	e.SetTracer(cfg.Trace)
 	m := &Machine{
 		E:    e,
 		Net:  mesh.New(e, cfg.Mesh),
@@ -193,6 +202,9 @@ func (nd *Node) SetNotifyDispatch(fn func(p *sim.Proc, pkt *nic.Packet)) {
 // from the application CPU.
 func (nd *Node) raiseInterrupt(kind nic.InterruptKind, pkt *nic.Packet) {
 	nd.Acct.Counters.Interrupts++
+	if tr := nd.M.Cfg.Trace; tr != nil {
+		tr.Record(int64(nd.M.E.Now()), trace.KInterrupt, int32(nd.ID), int64(kind), 0)
+	}
 	cost := nd.M.Cfg.Cost.InterruptCost
 	switch kind {
 	case nic.IntPerMessage:

@@ -1,0 +1,135 @@
+package machine
+
+import (
+	"testing"
+
+	"shrimp/internal/sim"
+	"shrimp/internal/trace"
+)
+
+// TestTracelessMachineAllocationFree pins the disabled-tracing cost at
+// the machine level: with no recorder attached, the full AU data path
+// through a machine-built stack — snooped store, combining, FIFO, mesh
+// transit, receive DMA — performs zero steady-state heap allocations.
+// Every trace hook on that path must stay behind a nil check for this
+// to hold.
+func TestTracelessMachineAllocationFree(t *testing.T) {
+	m := New(DefaultConfig(2))
+	defer m.Close()
+	n0, n1 := m.Nodes[0], m.Nodes[1]
+
+	dst := n1.Mem.Alloc(1)
+	n1.NIC.SetIncoming(dst.VPN(), false)
+	au := n0.Mem.Alloc(1)
+	n0.NIC.MapOutgoing(au.VPN(), n1.ID, dst.VPN(), true, true, false)
+
+	word := uint32(1)
+	avg := testing.AllocsPerRun(100, func() {
+		n0.Mem.WriteUint32(nil, au+8, word)
+		n0.Mem.WriteUint32(nil, au+12, word+1)
+		word += 2
+		m.E.Run() // drain: combine flush, mesh transit, receive, recycle
+	})
+	if avg != 0 {
+		t.Fatalf("untraced AU path allocates %.1f objects per burst, want 0", avg)
+	}
+}
+
+// duRoundTrip runs one DU transfer between the two nodes of a traced
+// machine and returns the recorder.
+func duRoundTrip(t *testing.T, mut func(*Config)) *trace.Recorder {
+	t.Helper()
+	cfg := DefaultConfig(2)
+	cfg.Trace = trace.NewRecorder(trace.Options{})
+	if mut != nil {
+		mut(&cfg)
+	}
+	m := New(cfg)
+	defer m.Close()
+	n0, n1 := m.Nodes[0], m.Nodes[1]
+
+	dst := n1.Mem.Alloc(1)
+	n1.NIC.SetIncoming(dst.VPN(), false)
+	src := n0.Mem.Alloc(1)
+	proxy := n0.Mem.Alloc(1)
+	n0.NIC.MapOutgoing(proxy.VPN(), n1.ID, dst.VPN(), false, false, false)
+
+	m.RunParallel("traced-du", func(nd *Node, p *sim.Proc) {
+		if nd != n0 {
+			return
+		}
+		nd.NIC.SendDU(p, src, proxy, 256, false, true)
+		nd.NIC.WaitDUIdle(p)
+		p.Sleep(100 * sim.Microsecond)
+	})
+	return cfg.Trace
+}
+
+// TestTracedMachineRecordsEvents checks the machine wiring end to end:
+// a DU transfer on a traced machine leaves the expected event kinds
+// and latency samples in the recorder.
+func TestTracedMachineRecordsEvents(t *testing.T) {
+	rec := duRoundTrip(t, nil)
+
+	kinds := map[trace.Kind]int{}
+	for _, ev := range rec.Events() {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []trace.Kind{trace.KProcSpawn, trace.KPktSend,
+		trace.KPktRecv, trace.KLinkHop, trace.KDUStart, trace.KDUEnd,
+		trace.KDUQueue, trace.KMsgRecv} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events recorded (kinds seen: %v)", k, kinds)
+		}
+	}
+	if kinds[trace.KPktSend] != kinds[trace.KPktRecv] {
+		t.Errorf("pkt-send/pkt-recv mismatch: %d vs %d",
+			kinds[trace.KPktSend], kinds[trace.KPktRecv])
+	}
+	if rec.Hist(trace.LatMesh).Count() == 0 {
+		t.Error("no mesh latency samples")
+	}
+	if rec.Hist(trace.LatDU).Count() == 0 {
+		t.Error("no DU latency samples")
+	}
+	// DU end-to-end latency includes mesh transit, so its minimum cannot
+	// be below the mesh minimum.
+	if rec.Hist(trace.LatDU).Min() < rec.Hist(trace.LatMesh).Min() {
+		t.Errorf("DU latency min %dns below mesh min %dns",
+			rec.Hist(trace.LatDU).Min(), rec.Hist(trace.LatMesh).Min())
+	}
+}
+
+// TestTracedMachineDeterministic runs the identical traced scenario
+// twice and requires identical event streams — the machine-level form
+// of the byte-identical trace guarantee.
+func TestTracedMachineDeterministic(t *testing.T) {
+	a := duRoundTrip(t, nil).Events()
+	b := duRoundTrip(t, nil).Events()
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTracedInterruptEvents checks the interrupt hook in the machine
+// layer fires under the interrupt-per-message knob.
+func TestTracedInterruptEvents(t *testing.T) {
+	rec := duRoundTrip(t, func(c *Config) { c.NIC.InterruptPerMessage = true })
+	found := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.KInterrupt {
+			found++
+			if ev.Node != 1 {
+				t.Errorf("interrupt on node %d, want receiver 1", ev.Node)
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no interrupt events under InterruptPerMessage")
+	}
+}

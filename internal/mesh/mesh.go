@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"shrimp/internal/sim"
+	"shrimp/internal/trace"
 )
 
 // NodeID identifies a node attached to the mesh, in row-major order.
@@ -84,12 +85,19 @@ const (
 	ndirections
 )
 
+var directionNames = [ndirections]string{"east", "west", "north", "south"}
+
+func (d direction) String() string { return directionNames[d] }
+
 // link is a directed channel between adjacent routers with its own
 // occupancy horizon, used to model wormhole contention.
 type link struct {
 	freeAt sim.Time
 	// busy accumulates total occupied time for utilization statistics.
 	busy sim.Time
+	// id is the link's index within Network.links, so trace events can
+	// name the link without pointer arithmetic.
+	id int32
 }
 
 // Stats aggregates network-level counters.
@@ -115,6 +123,11 @@ type Network struct {
 
 	// pool is the Packet freelist.
 	pool []*Packet
+
+	// tr is the attached trace recorder (nil when tracing is off);
+	// cached from the engine at construction so Send pays one nil
+	// check when disabled.
+	tr *trace.Recorder
 }
 
 // New constructs a mesh network on engine e.
@@ -123,13 +136,55 @@ func New(e *sim.Engine, cfg Config) *Network {
 		panic("mesh: non-positive dimensions")
 	}
 	n := cfg.Width * cfg.Height
-	return &Network{
+	net := &Network{
 		e:      e,
 		cfg:    cfg,
 		links:  make([]link, n*int(ndirections)),
 		sinks:  make([]Sink, n),
 		routes: make([][]*link, n*n),
+		tr:     e.Tracer(),
 	}
+	for i := range net.links {
+		net.links[i].id = int32(i)
+	}
+	if net.tr != nil {
+		net.tr.SetLinkNames(net.linkNames())
+	}
+	return net
+}
+
+// linkName renders a link's trace-track name from its index.
+func (n *Network) linkName(idx int) string {
+	r := idx / int(ndirections)
+	d := direction(idx % int(ndirections))
+	return fmt.Sprintf("x%dy%d %s", r%n.cfg.Width, r/n.cfg.Width, d)
+}
+
+// linkNames lists every link's name, indexed like Network.links.
+func (n *Network) linkNames() []string {
+	names := make([]string, len(n.links))
+	for i := range names {
+		names[i] = n.linkName(i)
+	}
+	return names
+}
+
+// LinkUtil snapshots per-link occupancy against an elapsed run time,
+// for the trace metrics summary. Only links that carried traffic are
+// reported, in link-index order.
+func (n *Network) LinkUtil(elapsed sim.Time) []trace.LinkUtil {
+	var out []trace.LinkUtil
+	for i := range n.links {
+		if n.links[i].busy == 0 {
+			continue
+		}
+		out = append(out, trace.LinkUtil{
+			Name:    n.linkName(i),
+			Busy:    int64(n.links[i].busy),
+			Elapsed: int64(elapsed),
+		})
+	}
+	return out
 }
 
 // Nodes reports the number of attached node slots.
@@ -262,6 +317,7 @@ func (n *Network) Send(pkt *Packet) sim.Time {
 		// Loopback through the NIC without touching the backplane.
 		t := head + occ
 		n.e.At(t, deliver)
+		n.tracePacket(pkt, now, t)
 		return t
 	}
 	links := n.route(pkt.Src, pkt.Dst)
@@ -275,10 +331,27 @@ func (n *Network) Send(pkt *Packet) sim.Time {
 		l.freeAt = start + occ
 		l.busy += occ
 		head = start + n.cfg.RouterDelay
+		if n.tr != nil {
+			n.tr.Record(int64(start), trace.KLinkHop, -1, int64(l.id), int64(occ))
+		}
 	}
 	// Ejection at the destination: the tail arrives one serialization
 	// time after the head clears the last router.
 	t := head + n.cfg.InjectDelay + occ
 	n.e.At(t, deliver)
+	n.tracePacket(pkt, now, t)
 	return t
+}
+
+// tracePacket records a packet's injection and (future, deterministic)
+// delivery, plus its transit-latency sample. The delivery event is
+// recorded at injection time because the delivery thunk is pre-built
+// and must stay allocation-free; the exporters re-sort by timestamp.
+func (n *Network) tracePacket(pkt *Packet, now, t sim.Time) {
+	if n.tr == nil {
+		return
+	}
+	n.tr.Record(int64(now), trace.KPktSend, int32(pkt.Src), int64(pkt.Dst), int64(pkt.Size))
+	n.tr.Record(int64(t), trace.KPktRecv, int32(pkt.Dst), int64(pkt.Src), int64(pkt.Size))
+	n.tr.Latency(trace.LatMesh, int64(t-now))
 }

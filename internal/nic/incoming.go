@@ -3,6 +3,7 @@ package nic
 import (
 	"shrimp/internal/memory"
 	"shrimp/internal/sim"
+	"shrimp/internal/trace"
 )
 
 // rxEngine is the incoming DMA engine: it accepts packets off the
@@ -46,11 +47,24 @@ func (n *NIC) rxEngine(p *sim.Proc) {
 		}
 		n.nicPort.Release()
 
+		if n.tr != nil && pkt.sent != 0 {
+			// End-to-end latency: emission (snoop or DMA-engine start) to
+			// payload landed in receiver host memory.
+			class := trace.LatAU
+			if pkt.Kind == DU {
+				class = trace.LatDU
+			}
+			n.tr.Latency(class, int64(n.e.Now()-(pkt.sent-1)))
+		}
+
 		// AU packets with the sender's interrupt-request bit mark
 		// message boundaries on automatic-update streams.
 		auBoundary := pkt.Kind == AU && pkt.Interrupt
 		if pkt.EndOfMsg {
 			n.acct.Counters.MessagesRecv++
+			if n.tr != nil {
+				n.tr.Record(int64(n.e.Now()), trace.KMsgRecv, int32(n.id), int64(pkt.Src), 0)
+			}
 		}
 		// §4.4 what-ifs: a null kernel handler runs before the
 		// application can observe the data, delaying delivery and

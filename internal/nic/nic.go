@@ -7,6 +7,7 @@ import (
 	"shrimp/internal/mesh"
 	"shrimp/internal/sim"
 	"shrimp/internal/stats"
+	"shrimp/internal/trace"
 )
 
 // Kind distinguishes the two transfer mechanisms on the wire.
@@ -76,6 +77,11 @@ type Packet struct {
 	// mesh.Packet's delivery thunk it is built once per packet and
 	// reused across recycles, so emitAU schedules it with no allocation.
 	fifoFn func()
+	// sent is the emission timestamp plus one, for end-to-end latency
+	// histograms. It is stamped only when a trace recorder is attached,
+	// so the untraced path never touches it; the +1 bias keeps a packet
+	// emitted at time zero distinguishable from an unstamped one.
+	sent sim.Time
 }
 
 // Clone returns a detached copy of the packet's header fields, safe to
@@ -193,6 +199,10 @@ type NIC struct {
 	rxQueue *sim.Queue[*mesh.Packet]
 	dropped int64
 
+	// tr is the attached trace recorder (nil when tracing is off),
+	// cached from the engine at construction.
+	tr *trace.Recorder
+
 	// RaiseInterrupt is invoked (non-blocking, any context) when the NIC
 	// interrupts the host CPU. Set by the machine layer. The packet is
 	// only valid for the duration of the call; retain via Clone.
@@ -224,6 +234,7 @@ func New(e *sim.Engine, id mesh.NodeID, net *mesh.Network, mem *memory.AddressSp
 		fenceCond: sim.NewCond(e),
 		nicPort:   sim.NewResource(e),
 		rxQueue:   sim.NewQueue[*mesh.Packet](e),
+		tr:        e.Tracer(),
 	}
 	n.flushFn = n.flushCombine
 	net.Attach(id, func(mp *mesh.Packet) { n.rxQueue.Push(mp) })

@@ -6,6 +6,7 @@ import (
 	"shrimp/internal/memory"
 	"shrimp/internal/mesh"
 	"shrimp/internal/sim"
+	"shrimp/internal/trace"
 )
 
 // SendDU initiates a deliberate-update transfer via the user-level DMA
@@ -45,6 +46,9 @@ func (n *NIC) SendDU(p *sim.Proc, src, proxy memory.Addr, size int, interrupt, e
 	req.interrupt = interrupt
 	req.endOfMsg = endOfMsg
 	n.duQueue.Push(req)
+	if n.tr != nil {
+		n.tr.Record(int64(n.e.Now()), trace.KDUQueue, int32(n.id), int64(n.duSlots), 0)
+	}
 	n.acct.Counters.DUTransfers++
 	if endOfMsg {
 		n.acct.Counters.MessagesSent++
@@ -69,6 +73,11 @@ func (n *NIC) WaitDUIdle(p *sim.Proc) {
 func (n *NIC) duEngine(p *sim.Proc) {
 	for {
 		req := n.duQueue.Pop(p)
+		var start sim.Time
+		if n.tr != nil {
+			start = n.e.Now()
+			n.tr.Record(int64(start), trace.KDUStart, int32(n.id), int64(req.size), int64(req.dstNode))
+		}
 		p.Sleep(n.cfg.DMASetup)
 		pkt := n.allocPacket()
 		pkt.Kind = DU
@@ -87,7 +96,14 @@ func (n *NIC) duEngine(p *sim.Proc) {
 		n.duCond.Broadcast()
 		dst := req.dstNode
 		n.releaseDU(req)
+		if n.tr != nil {
+			pkt.sent = start + 1
+			n.tr.Record(int64(n.e.Now()), trace.KDUQueue, int32(n.id), int64(n.duSlots), 0)
+		}
 		n.inject(p, pkt, dst)
+		if n.tr != nil {
+			n.tr.Record(int64(n.e.Now()), trace.KDUEnd, int32(n.id), int64(pkt.DstPage), int64(dst))
+		}
 	}
 }
 
@@ -162,6 +178,9 @@ func (n *NIC) auStore(vpn int, ent *OPTEntry, off int, data []byte) {
 		c.buf = append(c.buf, data...)
 		c.timer.Cancel()
 		c.timer = n.e.NewTimer(n.cfg.CombineTimeout, n.flushFn)
+		if n.tr != nil {
+			n.tr.Record(int64(n.e.Now()), trace.KCombineHit, int32(n.id), int64(len(c.buf)), 0)
+		}
 		return
 	}
 	n.flushCombine()
@@ -182,6 +201,9 @@ func (n *NIC) flushCombine() {
 	c.timer.Cancel()
 	c.timer = sim.Timer{}
 	c.active = false
+	if n.tr != nil {
+		n.tr.Record(int64(n.e.Now()), trace.KCombineFlush, int32(n.id), int64(len(c.buf)), 0)
+	}
 	n.emitAU(c.ent.DstNode, c.ent.DstPage, c.start, c.ent.Interrupt, c.buf)
 	c.buf = c.buf[:0]
 }
@@ -200,6 +222,9 @@ func (n *NIC) emitAU(dst mesh.NodeID, dstPage, off int, interrupt bool, data []b
 	pkt.EndOfMsg = false
 	pkt.Data = append(pkt.Data[:0], data...)
 	pkt.fifoDst = dst
+	if n.tr != nil {
+		pkt.sent = n.e.Now() + 1
+	}
 	n.outAU++
 	n.acct.Counters.AUPackets++
 	n.acct.Counters.BytesSent += int64(len(data))
@@ -213,6 +238,9 @@ func (n *NIC) fifoArrive(pkt *Packet, dst mesh.NodeID) {
 	n.fifoBytes += wire
 	if n.fifoBytes > n.fifoHigh {
 		n.fifoHigh = n.fifoBytes
+	}
+	if n.tr != nil {
+		n.tr.Record(int64(n.e.Now()), trace.KFIFOEnq, int32(n.id), int64(n.fifoBytes), int64(wire))
 	}
 	n.fifoPush(pkt, dst)
 	if !n.stalled && n.fifoBytes > n.cfg.FIFOThresholdBytes {
@@ -267,6 +295,9 @@ func (n *NIC) outEngine(p *sim.Proc) {
 		e := n.fifo.Pop(p)
 		n.inject(p, e.pkt, e.dst)
 		n.fifoBytes -= n.wireSize(len(e.pkt.Data))
+		if n.tr != nil {
+			n.tr.Record(int64(n.e.Now()), trace.KFIFODrain, int32(n.id), int64(n.fifoBytes), 0)
+		}
 		if n.stalled && n.fifoBytes <= n.cfg.FIFOLowWaterBytes {
 			n.stalled = false
 			n.fifoCond.Broadcast()

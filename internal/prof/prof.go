@@ -5,11 +5,36 @@
 package prof
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
+
+// Flags holds the values of the profiler flags registered by
+// RegisterFlags, ready to hand to Start once the flag set is parsed.
+type Flags struct {
+	CPU, Mem, Block *string
+}
+
+// RegisterFlags installs the three standard profiler flags
+// (-cpuprofile, -memprofile, -blockprofile) on fs. Both command-line
+// binaries share this one definition instead of repeating the flag
+// blocks.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		CPU:   fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		Mem:   fs.String("memprofile", "", "write a heap profile to this file at exit"),
+		Block: fs.String("blockprofile", "", "write a blocking profile to this file at exit"),
+	}
+}
+
+// Start begins the profiles the parsed flags selected; see the
+// package-level Start.
+func (f *Flags) Start() (stop func(), err error) {
+	return Start(*f.CPU, *f.Mem, *f.Block)
+}
 
 // Start begins the profiles selected by non-empty paths and returns a
 // stop function that must run exactly once before the process exits

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"shrimp/internal/trace"
+)
 
 // event is a single entry in the engine's calendar. Exactly one of fn and
 // proc is set: fn events run inline in whatever goroutine owns the engine
@@ -80,6 +84,11 @@ type Engine struct {
 
 	running bool
 	stopped bool
+
+	// tr is the attached trace recorder, or nil when tracing is off.
+	// Hardware and protocol layers cache it at construction; the engine
+	// itself only records process lifecycle events.
+	tr *trace.Recorder
 }
 
 // killSignal unwinds a process goroutine during Shutdown.
@@ -95,6 +104,15 @@ func NewEngine() *Engine {
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetTracer attaches a trace recorder (nil detaches). It must be
+// called before the hardware models are constructed: they cache the
+// recorder pointer so their hot paths pay only a nil check when
+// tracing is off.
+func (e *Engine) SetTracer(tr *trace.Recorder) { e.tr = tr }
+
+// Tracer returns the attached trace recorder, or nil.
+func (e *Engine) Tracer() *trace.Recorder { return e.tr }
 
 // Live reports the number of processes that have been spawned and have
 // not yet returned.
@@ -344,6 +362,9 @@ func (e *Engine) SpawnAt(t Time, name string, body func(p *Proc)) *Proc {
 	ev.t = t
 	ev.proc = p
 	e.push(ev)
+	if e.tr != nil {
+		e.tr.Record(int64(t), trace.KProcSpawn, -1, int64(e.live), 0)
+	}
 	return p
 }
 

@@ -7,6 +7,7 @@ import (
 	"shrimp/internal/memory"
 	"shrimp/internal/sim"
 	"shrimp/internal/stats"
+	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 )
 
@@ -21,6 +22,11 @@ func (rt *Runtime) handleFault(p *sim.Proc, vpn int, write bool) {
 	cost := rt.node.M.Cfg.Cost
 	cpu.ChargeOverhead(cost.PageFaultCost)
 	rt.node.Acct.Counters.PageFaults++
+	if write {
+		rt.trace(trace.KPageFault, int64(page), 1)
+	} else {
+		rt.trace(trace.KPageFault, int64(page), 0)
+	}
 
 	st := &rt.state[page]
 	if st.status == pgInvalid {
@@ -66,6 +72,7 @@ func (rt *Runtime) fetch(p *sim.Proc, page int) {
 		panic("svm: fetch of self-homed page")
 	}
 	cpu := rt.node.CPUFor(p)
+	rt.trace(trace.KPageFetch, int64(page), int64(home))
 	rt.sendReq(p, home, mFetch, page, rt.rank, nil)
 	since := cpu.BeginWait(p)
 	rt.readReply(p, home, mFetchDone)
@@ -147,6 +154,7 @@ func (rt *Runtime) Release(p *sim.Proc) []int {
 				// notices — the overhead the paper finds undiminished.
 				cpu.ChargeOverhead(cost.DiffWordCost * memory.PageSize / 4)
 				rt.node.Acct.Counters.DiffsCreated++
+				rt.trace(trace.KDiffCreate, int64(page), 0)
 				st.twin = nil
 				rt.regionImp[home].UnbindAU(rt.addr(page*memory.PageSize), 1)
 			case AURC:
@@ -194,6 +202,7 @@ func (rt *Runtime) pushDiff(p *sim.Proc, page int, st *pageState) {
 	cpu.ChargeOverhead(cost.DiffWordCost * memory.PageSize / 4)
 	runs := computeDiff(st.twin, cur)
 	rt.node.Acct.Counters.DiffsCreated++
+	rt.trace(trace.KDiffCreate, int64(page), 0)
 	base := page * memory.PageSize
 	for i, run := range runs {
 		rt.regionImp[home].Send(p, rt.addr(base+run.off), base+run.off, run.len,
@@ -201,6 +210,9 @@ func (rt *Runtime) pushDiff(p *sim.Proc, page int, st *pageState) {
 	}
 	if len(runs) > 0 {
 		rt.node.M.Acct.Nodes[home].Counters.DiffsApplied++
+		if rt.tr != nil {
+			rt.tr.Record(int64(rt.node.M.E.Now()), trace.KDiffApply, int32(home), int64(page), 0)
+		}
 	}
 	st.twin = nil
 }

@@ -26,6 +26,7 @@ import (
 	"shrimp/internal/memory"
 	"shrimp/internal/ring"
 	"shrimp/internal/sim"
+	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 )
 
@@ -166,6 +167,17 @@ type Runtime struct {
 	// the lock manager).
 	localGrants []localGrant
 	lockCond    *sim.Cond
+
+	// tr is the attached trace recorder (nil when tracing is off).
+	tr *trace.Recorder
+}
+
+// trace records one protocol event for this rank when a recorder is
+// attached; the nil check is the entire cost otherwise.
+func (rt *Runtime) trace(k trace.Kind, a0, a1 int64) {
+	if rt.tr != nil {
+		rt.tr.Record(int64(rt.node.M.E.Now()), k, int32(rt.rank), a0, a1)
+	}
 }
 
 // invalidation tells a node to discard its copy of a page unless it was
@@ -217,6 +229,7 @@ func New(vs *vmmc.System, cfg Config) *System {
 			barWait:      sim.NewCond(vs.M.E),
 			lockCond:     sim.NewCond(vs.M.E),
 			sinceBarrier: make(map[int]bool),
+			tr:           vs.M.E.Tracer(),
 		}
 		// The local region copy doubles as the exported receive buffer:
 		// homes receive diffs and fetched pages land directly in place.

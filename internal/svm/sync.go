@@ -6,6 +6,7 @@ import (
 
 	"shrimp/internal/sim"
 	"shrimp/internal/stats"
+	"shrimp/internal/trace"
 )
 
 // ---- Locks -------------------------------------------------------------
@@ -58,6 +59,7 @@ func (rt *Runtime) Acquire(p *sim.Proc, lock int) {
 		pages = m.payload
 	}
 	cpu.EndWait(p, stats.Lock, since)
+	rt.trace(trace.KLockAcq, int64(lock), 0)
 	invals := make([]invalidation, len(pages))
 	for i, pg := range pages {
 		invals[i] = invalidation{page: int(pg), soleWriter: -1}
@@ -70,6 +72,7 @@ func (rt *Runtime) Acquire(p *sim.Proc, lock int) {
 func (rt *Runtime) ReleaseLock(p *sim.Proc, lock int) {
 	s := rt.s
 	notices := rt.Release(p)
+	rt.trace(trace.KLockRel, int64(lock), int64(len(notices)))
 	payload := pagesToWords(notices)
 	mgr := lock % s.Nodes()
 	if mgr == rt.rank {
@@ -184,6 +187,7 @@ func (rt *Runtime) Barrier(p *sim.Proc) {
 	if rt.rank == 0 {
 		bar := s.nodes[0].bar
 		target := bar.epoch
+		rt.trace(trace.KBarEnter, int64(target), 0)
 		rt.svc.Acquire(p)
 		rt.serveBarrierArrive(p, 0, bar.epoch, payload)
 		rt.svc.Release()
@@ -195,8 +199,11 @@ func (rt *Runtime) Barrier(p *sim.Proc) {
 		invals := rt.pendInval
 		rt.pendInval = nil
 		rt.applyInvalidations(p, invals)
+		rt.trace(trace.KBarExit, int64(target), 0)
 		return
 	}
+	epoch := rt.barEpoch
+	rt.trace(trace.KBarEnter, int64(epoch), 0)
 	rt.sendReq(p, 0, mBarrier, rt.rank, rt.barEpoch, payload)
 	rt.barEpoch++
 	since := cpu.BeginWait(p)
@@ -211,6 +218,7 @@ func (rt *Runtime) Barrier(p *sim.Proc) {
 		invals = append(invals, invalidation{page: int(m.payload[i]), soleWriter: sw})
 	}
 	rt.applyInvalidations(p, invals)
+	rt.trace(trace.KBarExit, int64(epoch), 0)
 }
 
 // serveBarrierArrive runs at the manager (node 0): record the arrival

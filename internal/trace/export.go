@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Track-id layout inside one Chrome-trace process: node events use the
+// node id directly, machine-wide events share one "sim" track, and
+// each mesh link gets its own track above linkTidBase.
+const (
+	simTid      = 999
+	linkTidBase = 1000
+)
+
+// WriteChrome renders one or more recorders as Chrome trace-event JSON
+// (the format Perfetto and chrome://tracing load). Each recorder
+// becomes one "process" (pid = index+1, named by its label); inside a
+// process, every node and every mesh link is its own named thread
+// track. Timestamps are simulated microseconds.
+//
+// Output is deterministic: events are ordered by (timestamp, recording
+// order), both of which the simulation engine reproduces exactly.
+func WriteChrome(w io.Writer, recs []*Recorder, labels []string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"traceEvents\":[")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	for i, r := range recs {
+		pid := i + 1
+		label := "trace"
+		if i < len(labels) {
+			label = labels[i]
+		}
+		emit(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, strconv.Quote(label))
+
+		evs := r.sorted()
+		// Name every thread track that appears, in tid order.
+		tids := map[int]string{}
+		for _, ev := range evs {
+			tid := chromeTid(ev)
+			if _, ok := tids[tid]; ok {
+				continue
+			}
+			switch {
+			case tid == simTid:
+				tids[tid] = "sim"
+			case tid >= linkTidBase:
+				tids[tid] = r.LinkName(tid - linkTidBase)
+			default:
+				tids[tid] = fmt.Sprintf("node %d", tid)
+			}
+		}
+		order := make([]int, 0, len(tids))
+		for tid := range tids {
+			order = append(order, tid)
+		}
+		sort.Ints(order)
+		for _, tid := range order {
+			emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+				pid, tid, strconv.Quote(tids[tid]))
+		}
+
+		// duStart holds the pending KDUStart per node for span pairing:
+		// each NIC's DU engine is serial, so starts and ends alternate.
+		duStart := map[int32]Event{}
+		for _, ev := range evs {
+			ts := microts(ev.T)
+			switch ev.Kind {
+			case KLinkHop:
+				emit(`{"name":"link-hop","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s}`,
+					pid, linkTidBase+int(ev.A0), ts, microts(ev.A1))
+			case KDUStart:
+				duStart[ev.Node] = ev
+			case KDUEnd:
+				if st, ok := duStart[ev.Node]; ok {
+					delete(duStart, ev.Node)
+					emit(`{"name":"du-dma","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"bytes":%d,"dst":%d}}`,
+						pid, int(st.Node), microts(st.T), microts(ev.T-st.T), st.A0, st.A1)
+				}
+			case KFIFOEnq, KFIFODrain:
+				emit(`{"name":"fifo-bytes n%d","ph":"C","pid":%d,"tid":0,"ts":%s,"args":{"bytes":%d}}`,
+					ev.Node, pid, ts, ev.A0)
+			case KDUQueue:
+				emit(`{"name":"du-queue n%d","ph":"C","pid":%d,"tid":0,"ts":%s,"args":{"depth":%d}}`,
+					ev.Node, pid, ts, ev.A0)
+			default:
+				emit(`{"name":%s,"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"a0":%d,"a1":%d}}`,
+					strconv.Quote(ev.Kind.String()), pid, chromeTid(ev), ts, ev.A0, ev.A1)
+			}
+		}
+		// A start with no matching end (simulation shut down mid-DMA)
+		// degrades to an instant so the event is not lost.
+		leftover := make([]int32, 0, len(duStart))
+		for node := range duStart {
+			leftover = append(leftover, node)
+		}
+		sort.Slice(leftover, func(a, b int) bool { return leftover[a] < leftover[b] })
+		for _, node := range leftover {
+			st := duStart[node]
+			emit(`{"name":"du-start","ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"a0":%d,"a1":%d}}`,
+				pid, int(node), microts(st.T), st.A0, st.A1)
+		}
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// chromeTid maps an event to its thread track within a process.
+func chromeTid(ev Event) int {
+	if ev.Kind == KLinkHop {
+		return linkTidBase + int(ev.A0)
+	}
+	if ev.Node < 0 {
+		return simTid
+	}
+	return int(ev.Node)
+}
+
+// microts renders simulated nanoseconds as the microsecond timestamps
+// Chrome traces use, with fixed precision so output is byte-stable.
+func microts(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64)
+}
+
+// WriteNDJSON renders recorders as a newline-delimited JSON event
+// stream, one object per event in recording order (delivery events
+// carry their future delivery timestamp, so the stream is ordered by
+// recording causality, not strictly by timestamp).
+func WriteNDJSON(w io.Writer, recs []*Recorder, labels []string) error {
+	bw := bufio.NewWriter(w)
+	for i, r := range recs {
+		label := "trace"
+		if i < len(labels) {
+			label = labels[i]
+		}
+		q := strconv.Quote(label)
+		for _, ev := range r.Events() {
+			fmt.Fprintf(bw, `{"label":%s,"t":%d,"kind":"%s","node":%d,"a0":%d,"a1":%d}`+"\n",
+				q, ev.T, ev.Kind, ev.Node, ev.A0, ev.A1)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSummary renders one recorder's metrics — event volume, latency
+// histogram percentiles per class, and per-link utilization — as the
+// text block appended to harness reports under -metrics.
+func WriteSummary(w io.Writer, r *Recorder, label string) {
+	fmt.Fprintf(w, "trace metrics — %s\n", label)
+	fmt.Fprintf(w, "  events: %d recorded", len(r.Events()))
+	if d := r.Dropped(); d > 0 {
+		fmt.Fprintf(w, ", %d dropped by event cap", d)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  latency histograms (us):\n")
+	fmt.Fprintf(w, "    %-6s %10s %10s %10s %10s %10s %10s\n",
+		"class", "count", "mean", "p50", "p90", "p99", "max")
+	for c := Class(0); c < NumClasses; c++ {
+		h := r.Hist(c)
+		fmt.Fprintf(w, "    %-6s %10d %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+			c, h.Count(), h.Mean()/1e3,
+			float64(h.Quantile(0.50))/1e3, float64(h.Quantile(0.90))/1e3,
+			float64(h.Quantile(0.99))/1e3, float64(h.Max())/1e3)
+	}
+	links := r.LinkUtils()
+	if len(links) == 0 {
+		fmt.Fprintf(w, "  per-link utilization: no backplane traffic\n")
+		return
+	}
+	fmt.Fprintf(w, "  per-link utilization (busy/elapsed):\n")
+	for _, l := range links {
+		util := 0.0
+		if l.Elapsed > 0 {
+			util = float64(l.Busy) / float64(l.Elapsed) * 100
+		}
+		fmt.Fprintf(w, "    %-14s %7.3f%%  busy %s\n", l.Name, util, nsString(l.Busy))
+	}
+}
+
+// nsString formats nanoseconds with an adaptive unit (mirrors
+// sim.Time.String without importing sim).
+func nsString(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.6fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3fus", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// exportFixture builds a recorder exercising every exporter code path:
+// instants, link-hop spans, a paired DU span, an unpaired DU start,
+// counters, machine-wide (node = -1) events, latencies and link gauges.
+func exportFixture() *Recorder {
+	r := NewRecorder(Options{})
+	r.SetLinkNames([]string{"x0y0 east", "x1y0 west"})
+	r.Record(0, KProcSpawn, -1, 1, 0)
+	r.Record(100, KMsgSend, 0, 1, 4096)
+	r.Record(150, KPktSend, 0, 1, 64)
+	r.Record(950, KPktRecv, 1, 0, 64) // delivery recorded with future T
+	r.Record(200, KLinkHop, -1, 0, 500)
+	r.Record(700, KLinkHop, -1, 1, 500)
+	r.Record(300, KFIFOEnq, 0, 128, 64)
+	r.Record(400, KFIFODrain, 0, 64, 0)
+	r.Record(500, KDUQueue, 0, 1, 0)
+	r.Record(600, KDUStart, 0, 4096, 1)
+	r.Record(800, KDUEnd, 0, 3, 1)
+	r.Record(900, KDUStart, 1, 256, 0) // unpaired: run ended mid-DMA
+	r.Record(1000, KMsgRecv, 1, 0, 0)
+	r.Latency(LatMesh, 800)
+	r.Latency(LatMesh, 1200)
+	r.Latency(LatAU, 3000)
+	r.Latency(LatDU, 5000)
+	r.SetLinkUtil([]LinkUtil{
+		{Name: "x0y0 east", Busy: 500, Elapsed: 1000},
+		{Name: "x1y0 west", Busy: 250, Elapsed: 1000},
+	})
+	return r
+}
+
+func TestWriteChromeIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, []*Recorder{exportFixture()}, []string{"cell-a"}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+
+	names := map[string]int{}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		name, _ := ev["name"].(string)
+		ph, _ := ev["ph"].(string)
+		if name == "" || ph == "" {
+			t.Fatalf("event missing name or ph: %v", ev)
+		}
+		if _, ok := ev["pid"]; !ok {
+			t.Fatalf("event missing pid: %v", ev)
+		}
+		names[name]++
+		phases[ph]++
+	}
+
+	// Process and thread metadata: the label and the named tracks.
+	if names["process_name"] != 1 {
+		t.Fatalf("process_name metadata count %d", names["process_name"])
+	}
+	if !strings.Contains(buf.String(), `"cell-a"`) {
+		t.Fatal("process label missing")
+	}
+	for _, track := range []string{`"sim"`, `"node 0"`, `"node 1"`, `"x0y0 east"`, `"x1y0 west"`} {
+		if !strings.Contains(buf.String(), track) {
+			t.Fatalf("thread track %s not named", track)
+		}
+	}
+
+	// Complete events: two link hops plus one paired DU DMA span.
+	if names["link-hop"] != 2 {
+		t.Fatalf("link-hop spans: %d, want 2", names["link-hop"])
+	}
+	if names["du-dma"] != 1 {
+		t.Fatalf("du-dma spans: %d, want 1", names["du-dma"])
+	}
+	// The unpaired start degrades to an instant rather than vanishing.
+	if names["du-start"] != 1 {
+		t.Fatalf("unpaired du-start instants: %d, want 1", names["du-start"])
+	}
+	// Counters: fifo bytes (enq+drain) and du queue depth.
+	if names["fifo-bytes n0"] != 2 || names["du-queue n0"] != 1 {
+		t.Fatalf("counter events: fifo=%d duq=%d", names["fifo-bytes n0"], names["du-queue n0"])
+	}
+	if phases["X"] != 3 || phases["C"] != 3 {
+		t.Fatalf("phase histogram %v", phases)
+	}
+
+	// Span durations carry through in microseconds.
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "du-dma" {
+			if dur := ev["dur"].(float64); dur != 0.2 { // 200 ns
+				t.Fatalf("du-dma dur = %v us, want 0.2", dur)
+			}
+			args := ev["args"].(map[string]any)
+			if args["bytes"].(float64) != 4096 || args["dst"].(float64) != 1 {
+				t.Fatalf("du-dma args %v", args)
+			}
+		}
+	}
+}
+
+func TestWriteChromeMultipleRecorders(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteChrome(&buf, []*Recorder{exportFixture(), exportFixture()},
+		[]string{"first", "second"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	pids := map[float64]bool{}
+	for _, ev := range doc.TraceEvents {
+		pids[ev["pid"].(float64)] = true
+	}
+	if !pids[1] || !pids[2] || len(pids) != 2 {
+		t.Fatalf("pids %v, want exactly {1, 2}", pids)
+	}
+}
+
+func TestWriteNDJSONEveryLineValid(t *testing.T) {
+	r := exportFixture()
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, []*Recorder{r}, []string{"cell-a"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(r.Events()) {
+		t.Fatalf("%d lines for %d events", len(lines), len(r.Events()))
+	}
+	for i, line := range lines {
+		var rec struct {
+			Label string `json:"label"`
+			T     int64  `json:"t"`
+			Kind  string `json:"kind"`
+			Node  int32  `json:"node"`
+			A0    int64  `json:"a0"`
+			A1    int64  `json:"a1"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d invalid: %v\n%s", i, err, line)
+		}
+		ev := r.Events()[i]
+		if rec.Label != "cell-a" || rec.T != ev.T || rec.Kind != ev.Kind.String() ||
+			rec.Node != ev.Node || rec.A0 != ev.A0 || rec.A1 != ev.A1 {
+			t.Fatalf("line %d = %+v does not match event %+v", i, rec, ev)
+		}
+	}
+}
+
+func TestWriteSummaryContents(t *testing.T) {
+	var buf bytes.Buffer
+	WriteSummary(&buf, exportFixture(), "cell-a")
+	out := buf.String()
+	for _, want := range []string{
+		"trace metrics — cell-a",
+		"events: 13 recorded",
+		"p50", "p90", "p99",
+		"mesh", "au", "du",
+		"x0y0 east", "x1y0 west",
+		"50.000%", "25.000%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("summary reports drops for an uncapped recorder:\n%s", out)
+	}
+
+	// A capped recorder reports its drop count; a linkless one says so.
+	capped := NewRecorder(Options{MaxEvents: 1})
+	capped.Record(1, KPktSend, 0, 0, 0)
+	capped.Record(2, KPktSend, 0, 0, 0)
+	buf.Reset()
+	WriteSummary(&buf, capped, "capped")
+	if !strings.Contains(buf.String(), "1 dropped by event cap") {
+		t.Fatalf("summary silent about dropped events:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "no backplane traffic") {
+		t.Fatalf("summary missing linkless fallback:\n%s", buf.String())
+	}
+}
+
+// TestExportsDeterministic pins the byte-identical guarantee at the
+// exporter level: the same logical recording renders identically.
+func TestExportsDeterministic(t *testing.T) {
+	render := func() (string, string, string) {
+		r := exportFixture()
+		var c, n, s bytes.Buffer
+		if err := WriteChrome(&c, []*Recorder{r}, []string{"x"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteNDJSON(&n, []*Recorder{r}, []string{"x"}); err != nil {
+			t.Fatal(err)
+		}
+		WriteSummary(&s, r, "x")
+		return c.String(), n.String(), s.String()
+	}
+	c1, n1, s1 := render()
+	c2, n2, s2 := render()
+	if c1 != c2 || n1 != n2 || s1 != s2 {
+		t.Fatal("exports differ across identical recordings")
+	}
+}
+
+func TestNsString(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2_500_000, "2.500ms"},
+		{3_000_000_000, "3.000000s"},
+	}
+	for _, c := range cases {
+		if got := nsString(c.ns); got != c.want {
+			t.Fatalf("nsString(%d) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}

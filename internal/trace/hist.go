@@ -1,0 +1,131 @@
+package trace
+
+import "math/bits"
+
+// Hist is an HDR-style log-bucketed histogram of non-negative int64
+// samples (latencies in nanoseconds). Buckets are arranged as powers
+// of two, each subdivided into histSubBuckets linear sub-buckets, so
+// relative error is bounded at ~1/histSubBuckets across the whole
+// range while the footprint stays a few KB. The zero value is an empty
+// histogram ready for use.
+type Hist struct {
+	counts [histBuckets * histSubBuckets]int64
+	total  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+const (
+	histSubBits    = 5 // 32 sub-buckets: <= ~3% relative error
+	histSubBuckets = 1 << histSubBits
+	histBuckets    = 64 - histSubBits
+)
+
+// bucketIndex maps a sample to its bucket. Values below
+// histSubBuckets index linearly; larger values land in the sub-bucket
+// of their top histSubBits+1 significant bits.
+func bucketIndex(v int64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	// shift so the value's top bits fit the sub-bucket range.
+	exp := bits.Len64(uint64(v)) - (histSubBits + 1)
+	sub := int(v >> uint(exp)) // in [histSubBuckets, 2*histSubBuckets)
+	return (exp+1)*histSubBuckets + (sub - histSubBuckets)
+}
+
+// bucketValue returns a representative (upper-bound) sample value for
+// a bucket index — the inverse of bucketIndex up to bucket width.
+func bucketValue(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	exp := idx/histSubBuckets - 1
+	sub := idx%histSubBuckets + histSubBuckets
+	return int64(sub+1)<<uint(exp) - 1
+}
+
+// Record adds one sample. Negative samples are clamped to zero (they
+// cannot occur for causally-ordered simulated timestamps, but a clamp
+// is cheaper than a branch that panics).
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += v
+	if h.total == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count reports the number of recorded samples.
+func (h *Hist) Count() int64 { return h.total }
+
+// Max reports the largest recorded sample (0 when empty).
+func (h *Hist) Max() int64 { return h.max }
+
+// Min reports the smallest recorded sample (0 when empty).
+func (h *Hist) Min() int64 { return h.min }
+
+// Mean reports the arithmetic mean of the samples (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns the approximate q-quantile (0 <= q <= 1) of the
+// recorded samples: the representative value of the bucket containing
+// the ceil(q*total)-th sample. Empty histograms report 0.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge accumulates another histogram into h.
+func (h *Hist) Merge(o *Hist) {
+	if o.total == 0 {
+		return
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+}

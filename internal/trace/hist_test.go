@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketRoundTrip pins the histogram's accuracy contract: the
+// representative value of a sample's bucket is an upper bound within
+// 1/histSubBuckets relative error.
+func TestBucketRoundTrip(t *testing.T) {
+	samples := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 4095, 4096,
+		1 << 20, 1<<20 + 12345, 1 << 40, 1<<62 - 1}
+	for _, v := range samples {
+		idx := bucketIndex(v)
+		rep := bucketValue(idx)
+		if rep < v {
+			t.Fatalf("bucketValue(%d) = %d < sample %d", idx, rep, v)
+		}
+		if err := rep - v; err > v>>histSubBits+1 {
+			t.Fatalf("sample %d: representative %d off by %d (> %d)",
+				v, rep, err, v>>histSubBits+1)
+		}
+	}
+	// Bucket indexes are monotone in the sample value.
+	prev := -1
+	for v := int64(0); v < 1<<16; v += 7 {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestHistSmallValuesExact(t *testing.T) {
+	var h Hist
+	for v := int64(0); v < histSubBuckets; v++ {
+		h.Record(v)
+	}
+	if h.Count() != histSubBuckets || h.Min() != 0 || h.Max() != histSubBuckets-1 {
+		t.Fatalf("count=%d min=%d max=%d", h.Count(), h.Min(), h.Max())
+	}
+	// Values below histSubBuckets land in unit-wide buckets, so
+	// quantiles are exact.
+	if q := h.Quantile(0.5); q != 15 && q != 16 {
+		t.Fatalf("p50 of 0..31 = %d", q)
+	}
+	if q := h.Quantile(1); q != histSubBuckets-1 {
+		t.Fatalf("p100 = %d", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("p0 = %d", q)
+	}
+}
+
+func TestHistNegativeClampedToZero(t *testing.T) {
+	var h Hist
+	h.Record(-5)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("negative sample not clamped: count=%d min=%d max=%d mean=%f",
+			h.Count(), h.Min(), h.Max(), h.Mean())
+	}
+}
+
+func TestHistQuantileAccuracy(t *testing.T) {
+	// A deterministic spread over several decades, checked against the
+	// exact order statistics within the documented ~3% relative error.
+	rng := rand.New(rand.NewSource(42))
+	var h Hist
+	vals := make([]int64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		v := int64(1) << uint(rng.Intn(24))
+		v += rng.Int63n(v)
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	if mean := h.Mean(); mean != float64(sum)/float64(len(vals)) {
+		t.Fatalf("mean %f, want %f (tracked sum must be exact)",
+			mean, float64(sum)/float64(len(vals)))
+	}
+	if h.Min() != vals[0] || h.Max() != vals[len(vals)-1] {
+		t.Fatalf("min/max %d/%d, want %d/%d", h.Min(), h.Max(), vals[0], vals[len(vals)-1])
+	}
+
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		rank := int(q*float64(len(vals)) + 0.5)
+		exact := vals[rank-1]
+		relErr := float64(got-exact) / float64(exact)
+		if relErr < -0.001 || relErr > 2.0/histSubBuckets {
+			t.Fatalf("q=%v: got %d, exact %d (rel err %.4f)", q, got, exact, relErr)
+		}
+	}
+}
+
+func TestHistQuantileClampedToObservedRange(t *testing.T) {
+	var h Hist
+	h.Record(1000)
+	h.Record(1000)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 1000 {
+			t.Fatalf("single-valued hist q=%v = %d, want 1000", q, got)
+		}
+	}
+	var empty Hist
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 || empty.Count() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+}
+
+func TestHistMergeMatchesCombinedRecording(t *testing.T) {
+	var a, b, both Hist
+	for i := int64(1); i <= 500; i++ {
+		a.Record(i * 3)
+		both.Record(i * 3)
+	}
+	for i := int64(1); i <= 300; i++ {
+		b.Record(i * 1000)
+		both.Record(i * 1000)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() || a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatalf("merge count/min/max %d/%d/%d, want %d/%d/%d",
+			a.Count(), a.Min(), a.Max(), both.Count(), both.Min(), both.Max())
+	}
+	if a.Mean() != both.Mean() {
+		t.Fatalf("merge mean %f, want %f", a.Mean(), both.Mean())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("q=%v: merged %d, combined %d", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+
+	// Merging into an empty histogram copies min/max.
+	var c Hist
+	c.Merge(&b)
+	if c.Min() != b.Min() || c.Max() != b.Max() || c.Count() != b.Count() {
+		t.Fatal("merge into empty histogram lost min/max/count")
+	}
+	// Merging an empty histogram is a no-op.
+	var d Hist
+	before := c.Count()
+	c.Merge(&d)
+	if c.Count() != before {
+		t.Fatal("merging an empty histogram changed the count")
+	}
+}

@@ -1,0 +1,297 @@
+// Package trace is the deterministic event-tracing and time-series
+// metrics subsystem for the simulated SHRIMP machine. A Recorder is
+// attached to the simulation engine; every hardware and protocol layer
+// (sim, mesh, nic, machine, vmmc, svm) emits typed events into it, and
+// the exporters render the collected timeline as Chrome trace-event
+// JSON (loadable in Perfetto), an NDJSON event stream, or a text
+// metrics summary.
+//
+// Two invariants shape the design:
+//
+//   - The disabled path is a nil pointer check. Components cache the
+//     recorder pointer at construction; every hot-path hook is guarded
+//     by `if tr != nil`, so a machine built without tracing performs
+//     zero extra allocations and produces bit-identical results — the
+//     zero-allocation invariants of the data path survive untouched.
+//
+//   - Traces are deterministic. Every timestamp is simulated time
+//     (nanoseconds since simulation start), never wall clock, and
+//     events are recorded in engine execution order, which the engine
+//     guarantees is reproducible. Two runs of the same cell — at any
+//     harness worker count — produce byte-identical exports.
+//
+// The package depends on nothing in the simulator (timestamps are raw
+// int64 nanoseconds), which is what lets package sim itself carry the
+// recorder attachment point without an import cycle.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind is the type tag of one trace event. The a0/a1 arguments of an
+// Event are interpreted per kind; see the comments below and
+// docs/trace-format.md.
+type Kind uint8
+
+const (
+	// KProcSpawn: a simulation process was created (a0 = live count).
+	KProcSpawn Kind = iota
+	// KMsgSend: a VMMC-level user message send began (a0 = destination
+	// node, a1 = bytes).
+	KMsgSend
+	// KMsgRecv: the final packet of a message reached host memory
+	// (a0 = source node).
+	KMsgRecv
+	// KPktSend: a packet was injected into the mesh (a0 = destination
+	// node, a1 = wire bytes).
+	KPktSend
+	// KPktRecv: a packet was delivered by the mesh (a0 = source node,
+	// a1 = wire bytes). Recorded at injection with the (deterministic)
+	// future delivery timestamp.
+	KPktRecv
+	// KLinkHop: a packet head reserved a mesh link (node = -1,
+	// a0 = link index, a1 = occupancy duration in ns; T = start).
+	KLinkHop
+	// KFIFOEnq: an AU packet entered the outgoing FIFO (a0 = FIFO
+	// bytes after, a1 = wire bytes).
+	KFIFOEnq
+	// KFIFODrain: the outgoing FIFO drained one packet (a0 = FIFO
+	// bytes after).
+	KFIFODrain
+	// KCombineHit: a snooped store merged into the combining buffer
+	// (a0 = buffered bytes after).
+	KCombineHit
+	// KCombineFlush: the combining buffer emitted a packet
+	// (a0 = flushed bytes).
+	KCombineFlush
+	// KDUStart: the DU DMA engine began a transfer (a0 = bytes,
+	// a1 = destination node).
+	KDUStart
+	// KDUEnd: the DU DMA engine finished injecting a transfer.
+	KDUEnd
+	// KDUQueue: the DU request-queue depth changed (a0 = depth after).
+	KDUQueue
+	// KInterrupt: the NIC interrupted the host CPU (a0 = interrupt
+	// kind: 0 notification, 1 flow-control, 2 per-message).
+	KInterrupt
+	// KNotify: a user-level notification handler dispatched
+	// (a0 = buffer byte offset).
+	KNotify
+	// KSyscall: a kernel trap was charged (syscall-per-send what-if).
+	KSyscall
+	// KPageFault: an SVM protection fault (a0 = region page,
+	// a1 = 1 for write faults).
+	KPageFault
+	// KPageFetch: a page fetch from its home began (a0 = region page,
+	// a1 = home rank).
+	KPageFetch
+	// KDiffCreate: an HLRC diff was computed (a0 = region page).
+	KDiffCreate
+	// KDiffApply: a diff was applied at the home (a0 = region page).
+	KDiffApply
+	// KLockAcq: an SVM lock was acquired (a0 = lock id).
+	KLockAcq
+	// KLockRel: an SVM lock was released (a0 = lock id).
+	KLockRel
+	// KBarEnter: a node arrived at a barrier (a0 = epoch).
+	KBarEnter
+	// KBarExit: a node left a barrier (a0 = epoch).
+	KBarExit
+	// NumKinds is the number of event kinds.
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"proc-spawn", "msg-send", "msg-recv", "pkt-send", "pkt-recv",
+	"link-hop", "fifo-enq", "fifo-drain", "combine-hit", "combine-flush",
+	"du-start", "du-end", "du-queue", "interrupt", "notify", "syscall",
+	"page-fault", "page-fetch", "diff-create", "diff-apply",
+	"lock-acq", "lock-rel", "barrier-enter", "barrier-exit",
+}
+
+func (k Kind) String() string {
+	if k >= NumKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Class selects a latency histogram. Latencies are recorded whenever a
+// recorder is attached, independent of the event-kind filter.
+type Class uint8
+
+const (
+	// LatMesh is mesh transit latency: injection to delivery.
+	LatMesh Class = iota
+	// LatAU is automatic-update end-to-end latency: snoop emission to
+	// receiver host memory (includes outgoing-FIFO wait).
+	LatAU
+	// LatDU is deliberate-update end-to-end latency: DMA engine start
+	// to receiver host memory.
+	LatDU
+	// NumClasses is the number of latency classes.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{"mesh", "au", "du"}
+
+func (c Class) String() string { return classNames[c] }
+
+// Event is one recorded trace event. T is simulated nanoseconds.
+type Event struct {
+	T    int64
+	Kind Kind
+	Node int32 // node id / SVM rank, or -1 for machine-wide events
+	A0   int64
+	A1   int64
+}
+
+// LinkUtil is one mesh link's occupancy summary, captured at the end of
+// a run for the metrics summary.
+type LinkUtil struct {
+	Name    string
+	Busy    int64 // ns the link was reserved
+	Elapsed int64 // ns the simulation ran
+}
+
+// Options configures a Recorder.
+type Options struct {
+	// Filter selects the event kinds to record; the zero Mask records
+	// everything.
+	Filter Mask
+	// MaxEvents bounds the in-memory event buffer (0 = unlimited).
+	// Events beyond the cap are counted as dropped — the summary
+	// reports the count, so truncation is never silent.
+	MaxEvents int
+}
+
+// Mask selects a subset of event kinds.
+type Mask struct {
+	// all is set for the zero Mask semantics: everything enabled.
+	some    bool
+	enabled [NumKinds]bool
+}
+
+// Enabled reports whether the mask admits kind k.
+func (m *Mask) Enabled(k Kind) bool { return !m.some || m.enabled[k] }
+
+// Set enables kind k.
+func (m *Mask) Set(k Kind) {
+	m.some = true
+	m.enabled[k] = true
+}
+
+// ParseFilter builds a Mask from a comma-separated list of event-kind
+// names ("page-fault,lock-acq,..."). The empty string and the name
+// "all" select every kind.
+func ParseFilter(s string) (Mask, error) {
+	var m Mask
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return m, nil
+	}
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if name == "all" {
+			return Mask{}, nil
+		}
+		found := false
+		for k := Kind(0); k < NumKinds; k++ {
+			if kindNames[k] == name {
+				m.Set(k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Mask{}, fmt.Errorf("trace: unknown event kind %q (want one of %s)",
+				name, strings.Join(kindNames[:], ", "))
+		}
+	}
+	return m, nil
+}
+
+// Recorder collects events, latency histograms and end-of-run gauges
+// for one simulation. It is not safe for concurrent use; the engine it
+// is attached to is logically single-threaded, which is exactly the
+// guarantee that keeps traces deterministic.
+type Recorder struct {
+	opts      Options
+	events    []Event
+	dropped   int64
+	hists     [NumClasses]Hist
+	links     []LinkUtil
+	linkNames []string
+}
+
+// NewRecorder returns an empty recorder with the given options.
+func NewRecorder(opts Options) *Recorder {
+	return &Recorder{opts: opts}
+}
+
+// Record appends one event, honoring the kind filter and event cap.
+// Callers on hot paths must guard the call with a nil check on the
+// recorder itself; that nil check is the entire cost of disabled
+// tracing.
+func (r *Recorder) Record(t int64, k Kind, node int32, a0, a1 int64) {
+	if !r.opts.Filter.Enabled(k) {
+		return
+	}
+	if r.opts.MaxEvents > 0 && len(r.events) >= r.opts.MaxEvents {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, Event{T: t, Kind: k, Node: node, A0: a0, A1: a1})
+}
+
+// Latency records one latency sample (in ns) into the class histogram.
+func (r *Recorder) Latency(c Class, ns int64) { r.hists[c].Record(ns) }
+
+// Events returns the recorded events, in recording order. The slice is
+// owned by the recorder; callers must not mutate it.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped reports events discarded by the MaxEvents cap.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Hist returns the latency histogram for a class.
+func (r *Recorder) Hist(c Class) *Hist { return &r.hists[c] }
+
+// SetLinkNames registers the mesh link track names, indexed by the
+// link index used in KLinkHop events. The mesh calls it at
+// construction when a recorder is attached.
+func (r *Recorder) SetLinkNames(names []string) { r.linkNames = names }
+
+// LinkName returns the registered name for a link index, or a numeric
+// fallback.
+func (r *Recorder) LinkName(idx int) string {
+	if idx >= 0 && idx < len(r.linkNames) {
+		return r.linkNames[idx]
+	}
+	return fmt.Sprintf("link%d", idx)
+}
+
+// SetLinkUtil stores the end-of-run per-link occupancy snapshot for the
+// metrics summary.
+func (r *Recorder) SetLinkUtil(links []LinkUtil) { r.links = links }
+
+// LinkUtils returns the per-link occupancy snapshot (may be nil if the
+// run did not capture one).
+func (r *Recorder) LinkUtils() []LinkUtil { return r.links }
+
+// sorted returns the events ordered by (timestamp, recording order).
+// Delivery events are recorded at injection time carrying their future
+// delivery timestamp, so the raw buffer is not globally time-ordered;
+// the stable sort re-establishes timeline order deterministically.
+func (r *Recorder) sorted() []Event {
+	evs := make([]Event, len(r.events))
+	copy(evs, r.events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	return evs
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindNamesDistinct(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(0); k < NumKinds; k++ {
+		name := k.String()
+		if name == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("kinds %d and %d share the name %q", prev, k, name)
+		}
+		seen[name] = k
+	}
+	if got := Kind(NumKinds).String(); !strings.HasPrefix(got, "Kind(") {
+		t.Fatalf("out-of-range kind renders %q", got)
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	want := []string{"mesh", "au", "du"}
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() != want[c] {
+			t.Fatalf("class %d = %q, want %q", c, c.String(), want[c])
+		}
+	}
+}
+
+func TestZeroMaskEnablesEverything(t *testing.T) {
+	var m Mask
+	for k := Kind(0); k < NumKinds; k++ {
+		if !m.Enabled(k) {
+			t.Fatalf("zero mask rejects %v", k)
+		}
+	}
+}
+
+func TestMaskSetRestricts(t *testing.T) {
+	var m Mask
+	m.Set(KPageFault)
+	m.Set(KLockAcq)
+	for k := Kind(0); k < NumKinds; k++ {
+		want := k == KPageFault || k == KLockAcq
+		if m.Enabled(k) != want {
+			t.Fatalf("mask.Enabled(%v) = %v, want %v", k, m.Enabled(k), want)
+		}
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	// Empty string and "all" admit every kind.
+	for _, s := range []string{"", "  ", "all", "page-fault,all"} {
+		m, err := ParseFilter(s)
+		if err != nil {
+			t.Fatalf("ParseFilter(%q): %v", s, err)
+		}
+		for k := Kind(0); k < NumKinds; k++ {
+			if !m.Enabled(k) {
+				t.Fatalf("ParseFilter(%q) rejects %v", s, k)
+			}
+		}
+	}
+
+	m, err := ParseFilter(" page-fault , lock-acq,, ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Enabled(KPageFault) || !m.Enabled(KLockAcq) {
+		t.Fatal("named kinds not enabled")
+	}
+	if m.Enabled(KPktSend) || m.Enabled(KBarExit) {
+		t.Fatal("unnamed kinds enabled")
+	}
+
+	// Every published name round-trips through the parser.
+	for k := Kind(0); k < NumKinds; k++ {
+		m, err := ParseFilter(k.String())
+		if err != nil {
+			t.Fatalf("ParseFilter(%q): %v", k.String(), err)
+		}
+		if !m.Enabled(k) {
+			t.Fatalf("ParseFilter(%q) does not enable its own kind", k.String())
+		}
+	}
+
+	_, err = ParseFilter("page-fault,no-such-kind")
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-kind") ||
+		!strings.Contains(err.Error(), "page-fault") {
+		t.Fatalf("error %q names neither the bad kind nor the catalog", err)
+	}
+}
+
+func TestRecorderHonorsFilter(t *testing.T) {
+	var opts Options
+	opts.Filter.Set(KLockAcq)
+	r := NewRecorder(opts)
+	r.Record(10, KLockAcq, 0, 1, 0)
+	r.Record(20, KPktSend, 0, 1, 64)
+	r.Record(30, KLockAcq, 1, 2, 0)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Kind != KLockAcq {
+			t.Fatalf("filtered recorder kept %v", ev.Kind)
+		}
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("filtered events counted as dropped: %d", r.Dropped())
+	}
+}
+
+func TestRecorderMaxEventsCap(t *testing.T) {
+	r := NewRecorder(Options{MaxEvents: 3})
+	for i := 0; i < 10; i++ {
+		r.Record(int64(i), KPktSend, 0, 0, 0)
+	}
+	if len(r.Events()) != 3 {
+		t.Fatalf("kept %d events, want 3", len(r.Events()))
+	}
+	if r.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", r.Dropped())
+	}
+	// The kept prefix is the earliest-recorded events.
+	for i, ev := range r.Events() {
+		if ev.T != int64(i) {
+			t.Fatalf("event %d has T=%d", i, ev.T)
+		}
+	}
+}
+
+func TestLinkNameFallback(t *testing.T) {
+	r := NewRecorder(Options{})
+	if got := r.LinkName(3); got != "link3" {
+		t.Fatalf("unregistered link name %q", got)
+	}
+	r.SetLinkNames([]string{"x0y0 east", "x1y0 west"})
+	if got := r.LinkName(1); got != "x1y0 west" {
+		t.Fatalf("registered link name %q", got)
+	}
+	if got := r.LinkName(7); got != "link7" {
+		t.Fatalf("out-of-range link name %q", got)
+	}
+}
+
+func TestSortedIsStableAndByTime(t *testing.T) {
+	r := NewRecorder(Options{})
+	// Delivery events are recorded out of time order on purpose.
+	r.Record(50, KPktRecv, 1, 0, 64)
+	r.Record(10, KPktSend, 0, 1, 64)
+	r.Record(50, KMsgRecv, 1, 0, 0) // same T as the first: must stay after it
+	evs := r.sorted()
+	if evs[0].Kind != KPktSend || evs[1].Kind != KPktRecv || evs[2].Kind != KMsgRecv {
+		t.Fatalf("sorted order %v %v %v", evs[0].Kind, evs[1].Kind, evs[2].Kind)
+	}
+	// The recorder's own buffer keeps recording order.
+	if r.Events()[0].Kind != KPktRecv {
+		t.Fatal("sorted() mutated the recording-order buffer")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"shrimp/internal/nic"
 	"shrimp/internal/sim"
 	"shrimp/internal/stats"
+	"shrimp/internal/trace"
 )
 
 // System holds one Endpoint per node and wires delivery and
@@ -36,6 +37,7 @@ func NewSystem(m *machine.Machine) *System {
 			Node:     nd,
 			sys:      s,
 			recvCond: sim.NewCond(m.E),
+			tr:       m.E.Tracer(),
 		}
 		nd.NIC.OnDeliver = ep.onDeliver
 		nd.SetNotifyDispatch(ep.dispatchNotify)
@@ -65,6 +67,9 @@ type Endpoint struct {
 	// Notification blocking (§2.2): while blocked, notifications queue.
 	notifyBlocked bool
 	notifyQueue   []*nic.Packet
+
+	// tr is the attached trace recorder (nil when tracing is off).
+	tr *trace.Recorder
 }
 
 // Deliveries reports packets delivered to any export on this endpoint.
@@ -230,11 +235,18 @@ func (imp *Import) Send(p *sim.Proc, src memory.Addr, off, size int, opts SendOp
 	}
 	nd := imp.ep.Node
 	cost := nd.M.Cfg.Cost
+	if tr := imp.ep.tr; tr != nil && !opts.Internal {
+		tr.Record(int64(nd.M.E.Now()), trace.KMsgSend, int32(nd.ID),
+			int64(imp.exp.ep.Node.ID), int64(size))
+	}
 	if nd.M.Cfg.SyscallPerSend && !opts.Internal {
 		// §4.3 what-if: a kernel-mediated send path traps once per
 		// message.
 		nd.CPUFor(p).ChargeOverhead(cost.SyscallCost)
 		nd.Acct.Counters.Syscalls++
+		if tr := imp.ep.tr; tr != nil {
+			tr.Record(int64(nd.M.E.Now()), trace.KSyscall, int32(nd.ID), int64(size), 0)
+		}
 	}
 	for size > 0 {
 		chunk := size
@@ -366,5 +378,8 @@ func (ep *Endpoint) deliverNotify(p *sim.Proc, pkt *nic.Packet) {
 	}
 	ep.Node.Acct.Counters.Notifications++
 	off := (pkt.DstPage-ex.Base.VPN())*memory.PageSize + pkt.DstOffset
+	if ep.tr != nil {
+		ep.tr.Record(int64(ep.Node.M.E.Now()), trace.KNotify, int32(ep.Node.ID), int64(off), 0)
+	}
 	ex.notify(p, ex, off)
 }
