@@ -1,0 +1,35 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GOBIN := $(CURDIR)/bin
+
+.PHONY: all lint test bench-smoke determinism clean
+
+all: lint test
+
+# lint builds the shrimpvet suite and runs it over the module through
+# cmd/go's vettool protocol, alongside the stock vet checks.
+lint:
+	go vet ./...
+	go build -o $(GOBIN)/shrimpvet ./cmd/shrimpvet
+	go vet -vettool=$(GOBIN)/shrimpvet ./...
+
+test:
+	go test -race ./...
+
+# bench-smoke runs one iteration of every micro-benchmark: catches
+# benchmarks that panic or rot, with no timing thresholds.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x ./...
+
+# determinism checks that experiment output is byte-identical across
+# worker counts, the repo's core invariant.
+determinism:
+	go build -o $(GOBIN)/shrimpbench ./cmd/shrimpbench
+	$(GOBIN)/shrimpbench -exp table1,figure3 -quick -parallel 1 > $(GOBIN)/serial.txt
+	$(GOBIN)/shrimpbench -exp table1,figure3 -quick -parallel 4 > $(GOBIN)/parallel.txt
+	diff $(GOBIN)/serial.txt $(GOBIN)/parallel.txt
+	@echo "determinism: byte-identical across -parallel 1 and -parallel 4"
+
+clean:
+	rm -rf $(GOBIN)

@@ -25,6 +25,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"shrimp/internal/harness"
@@ -88,11 +89,13 @@ func main() {
 	for _, name := range strings.Split(*appNames, ",") {
 		app, ok := appByName[strings.ToLower(strings.TrimSpace(name))]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "shrimpsim: unknown app %q (want one of:", name)
+			known := make([]string, 0, len(appByName))
 			for n := range appByName {
-				fmt.Fprintf(os.Stderr, " %s", n)
+				known = append(known, n)
 			}
-			fmt.Fprintln(os.Stderr, ")")
+			sort.Strings(known)
+			fmt.Fprintf(os.Stderr, "shrimpsim: unknown app %q (want one of: %s)\n",
+				name, strings.Join(known, " "))
 			os.Exit(2)
 		}
 		apps = append(apps, app)

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"regexp"
+
+	"shrimp/internal/analysis"
+	"shrimp/internal/analysis/load"
+)
+
+// vetConfig is the JSON unit description cmd/go hands a -vettool, one
+// per package. The field set mirrors x/tools' unitchecker.Config; the
+// facts-related fields (PackageVetx, VetxOnly, VetxOutput) are
+// honored structurally — this suite defines no facts, so the vetx
+// files it writes are empty placeholders.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package unit described by cfgFile, printing
+// findings to stderr in the file:line:col form go vet relays. Exit
+// status: 0 clean, 1 operational error, 2 findings.
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: parsing %s: %v\n", progname, cfgFile, err)
+		return 1
+	}
+	// The driver expects the facts file regardless of findings; write
+	// it first so a diagnostic exit never leaves it missing.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: writing facts: %v\n", progname, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: the driver only wants exported facts, and
+		// this suite has none.
+		return 0
+	}
+	pkg, err := loadUnit(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s: %v\n", progname, cfg.ImportPath, err)
+		return 1
+	}
+	diags, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// goVersionRE extracts the major.minor prefix go/types accepts.
+var goVersionRE = regexp.MustCompile(`^go\d+\.\d+`)
+
+// loadUnit parses and type-checks the unit's Go files, importing
+// dependencies from the export-data files the driver prepared.
+func loadUnit(cfg *vetConfig) (*analysis.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	imp := load.GCImporter(fset, func(path string) (string, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		if file, ok := cfg.PackageFile[path]; ok {
+			return file, nil
+		}
+		return "", fmt.Errorf("no export data for %q", path)
+	})
+	tconf := types.Config{Importer: imp}
+	if v := goVersionRE.FindString(cfg.GoVersion); v != "" {
+		tconf.GoVersion = v
+	}
+	info := load.NewInfo()
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Package{
+		Path:  cfg.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,230 @@
+// Package hotpath enforces allocation-freedom in functions marked with
+// the //shrimp:hotpath comment directive.
+//
+// PR 2 took the data path from ~242k allocations per cell to ~4.8k by
+// pooling packets, events and buffers; the AllocsPerRun=0 tests pin
+// that property at runtime. But an AllocsPerRun failure names a
+// function, not a construct — finding the one append or closure that
+// regressed it is archaeology. This analyzer rejects the known
+// allocation/boxing constructs at compile time, inside exactly the
+// functions the pools were built for (engine calendar ops, mesh.Send,
+// the NIC AU/DU paths, queue ops), and its diagnostics name the
+// construct.
+//
+// The directive is a comment line in the function's doc comment:
+//
+//	//shrimp:hotpath
+//	func (n *Network) Send(pkt *Packet) sim.Time { ... }
+//
+// Constructs rejected: closure literals; map, slice and &T{} composite
+// literals; make/new; fmt.* calls; string<->[]byte/[]rune conversions;
+// conversions that box a non-pointer value into an interface; and
+// append onto a slice declared inside the function (fresh per-call
+// accumulation — appending to fields, package variables or parameters
+// is amortized pool growth and stays legal). Arguments of panic(...)
+// are exempt: a panicking simulator has no hot path.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"shrimp/internal/analysis"
+)
+
+// Directive marks a function as allocation-free.
+const Directive = "//shrimp:hotpath"
+
+// Analyzer is the hotpath rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "reject allocating or boxing constructs (closures, literals, make/new, fmt, " +
+		"string conversions, interface boxing, fresh-slice append) in //shrimp:hotpath functions",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !marked(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// marked reports whether the function's doc comment carries the
+// directive on a line of its own.
+func marked(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == Directive {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	body := fd.Body
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"closure literal in hotpath function %s allocates; pre-build it at "+
+					"construction (see mesh.Packet.deliver) or hoist it to a method value", name)
+			return false // the literal's body runs elsewhere
+		case *ast.UnaryExpr:
+			if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				pass.Reportf(n.Pos(),
+					"&%s{...} in hotpath function %s heap-allocates; recycle through a freelist "+
+						"(see sim.Engine.alloc)", typeLabel(pass, cl), name)
+				return false
+			}
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(),
+					"map literal in hotpath function %s allocates; hoist it to a package "+
+						"variable or the enclosing struct", name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(),
+					"slice literal in hotpath function %s allocates; reuse a pooled buffer", name)
+			}
+		case *ast.CallExpr:
+			return checkCall(pass, fd, n)
+		}
+		return true
+	})
+}
+
+// checkCall vets one call; it returns false to skip the call's subtree.
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	name := fd.Name.Name
+	// Conversions: T(x) where Fun denotes a type.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkConversion(pass, name, tv.Type, call)
+		return true
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "panic":
+			return false // cold by definition: constructs in panic args are exempt
+		case "make":
+			pass.Reportf(call.Pos(),
+				"make in hotpath function %s allocates; pre-size the buffer at construction "+
+					"and reuse it (buf[:0])", name)
+		case "new":
+			pass.Reportf(call.Pos(),
+				"new in hotpath function %s heap-allocates; recycle through a freelist", name)
+		case "append":
+			checkAppend(pass, fd, call)
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(),
+				"fmt.%s in hotpath function %s allocates (formatting boxes every operand); "+
+					"precompute the string or record raw integers (see trace.Recorder.Record)",
+				obj.Name(), name)
+		}
+	}
+	return true
+}
+
+// checkConversion flags string<->byte-slice conversions and interface
+// boxing of non-pointer values.
+func checkConversion(pass *analysis.Pass, fname string, to types.Type, call *ast.CallExpr) {
+	from := pass.TypesInfo.Types[call.Args[0]].Type
+	if from == nil {
+		return
+	}
+	switch under := to.Underlying().(type) {
+	case *types.Basic:
+		if under.Kind() == types.String && isByteOrRuneSlice(from) {
+			pass.Reportf(call.Pos(),
+				"string(%s) conversion in hotpath function %s copies and allocates; "+
+					"keep the []byte form end to end", types.TypeString(from, nil), fname)
+		}
+	case *types.Slice:
+		if fb, ok := from.Underlying().(*types.Basic); ok && fb.Info()&types.IsString != 0 && isByteOrRuneSlice(to) {
+			pass.Reportf(call.Pos(),
+				"[]byte(string) conversion in hotpath function %s copies and allocates; "+
+					"keep the []byte form end to end", fname)
+		}
+	case *types.Interface:
+		if !boxingFree(from) {
+			pass.Reportf(call.Pos(),
+				"conversion of %s to interface %s in hotpath function %s boxes the value "+
+					"(one allocation per call); pass a pointer instead",
+				types.TypeString(from, nil), types.TypeString(to, nil), fname)
+		}
+	}
+}
+
+// boxingFree reports whether storing a value of type t in an interface
+// allocates nothing: pointers, channels, maps, funcs and existing
+// interfaces share their word; everything else copies to the heap.
+func boxingFree(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// checkAppend flags appends whose destination is a slice declared
+// inside the function: such storage is fresh every call, so the append
+// is a per-call allocation rather than amortized pool growth.
+func checkAppend(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := call.Args[0]
+	id, ok := dst.(*ast.Ident)
+	if !ok {
+		return // fields, slice expressions (buf[:0]), indexes: pooled storage
+	}
+	obj := pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok {
+		if id.Name == "nil" {
+			pass.Reportf(call.Pos(),
+				"append to nil in hotpath function %s allocates a fresh slice every call; "+
+					"reuse a pooled buffer", fd.Name.Name)
+		}
+		return
+	}
+	if v.Pos() >= fd.Body.Pos() && v.Pos() <= fd.Body.End() {
+		pass.Reportf(call.Pos(),
+			"append to %s, a slice declared inside hotpath function %s, allocates fresh "+
+				"storage per call; append to a reused field or pass the buffer in", id.Name, fd.Name.Name)
+	}
+}
+
+// typeLabel renders a composite literal's type for diagnostics.
+func typeLabel(pass *analysis.Pass, cl *ast.CompositeLit) string {
+	if tv, ok := pass.TypesInfo.Types[cl]; ok && tv.Type != nil {
+		return types.TypeString(tv.Type, func(p *types.Package) string { return p.Name() })
+	}
+	return "T"
+}

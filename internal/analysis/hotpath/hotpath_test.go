@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"shrimp/internal/analysis/analysistest"
+	"shrimp/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpath.Analyzer, "hotpath")
+}

@@ -1,0 +1,83 @@
+// Package maporder exercises the map-iteration-order rule.
+package maporder
+
+import "sort"
+
+type tracer struct{}
+
+func (tracer) Record(t int64) {}
+
+type mesh struct{}
+
+func (mesh) Send(v int) {}
+
+func badTrace(m map[int]int, tr tracer) {
+	for k, v := range m { // want `map iteration body records a trace event`
+		_ = k
+		tr.Record(int64(v))
+	}
+}
+
+func badAppend(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `appends map-dependent values`
+		out = append(out, v)
+	}
+	return out
+}
+
+func badSend(m map[int]int, net mesh) {
+	for k := range m { // want `sends a packet`
+		net.Send(k)
+	}
+}
+
+func badChan(m map[int]int, ch chan int) {
+	for k := range m { // want `sends on a channel`
+		ch <- k
+	}
+}
+
+// okSortedKeys is the idiom the analyzer steers toward: collect,
+// sort, then act.
+func okSortedKeys(m map[string]int, tr tracer) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		tr.Record(int64(m[k]))
+	}
+}
+
+// okConvertedKeys collects keys through a type conversion with a
+// filter, as the SVM lock-grant path does, sorting afterwards.
+func okConvertedKeys(m map[int]int64, floor int64) []uint32 {
+	var pages []uint32
+	for pg, ver := range m {
+		if ver > floor {
+			pages = append(pages, uint32(pg))
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	return pages
+}
+
+// okNoCapture iterates without binding key or value: iterations are
+// indistinguishable, so order is unobservable.
+func okNoCapture(m map[int]int, tr tracer) int {
+	n := 0
+	for range m {
+		n++
+	}
+	tr.Record(int64(n))
+	return n
+}
+
+func justified(m map[int]int, tr tracer) {
+	//lint:ignore maporder fixture: demonstrates a justified suppression
+	for k := range m {
+		tr.Record(int64(k))
+	}
+}

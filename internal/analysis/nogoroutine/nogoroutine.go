@@ -1,0 +1,68 @@
+// Package nogoroutine forbids go statements outside the two files that
+// are allowed to create concurrency.
+//
+// The simulator is logically single-threaded: exactly one goroutine
+// owns the engine at any instant, handing ownership through resume
+// channels (internal/sim/engine.go), and the only fan-out is the
+// harness worker pool that runs independent cells (internal/harness/
+// parallel.go). A goroutine spawned anywhere else either races the
+// engine owner — destroying the (t, seq) event ordering the paper's
+// figures depend on — or runs allocation off the books, breaking the
+// AllocsPerRun=0 accounting. New concurrency entry points must be
+// designed, not sprinkled; extend the allowlist in this file only with
+// a scheme that preserves both invariants.
+package nogoroutine
+
+import (
+	"go/ast"
+	"strings"
+
+	"shrimp/internal/analysis"
+)
+
+// allowedFiles may contain go statements. Paths are matched by suffix
+// so the rule works from any checkout location and on fixture trees.
+var allowedFiles = []string{
+	"internal/sim/engine.go",      // ownership-token scheduler
+	"internal/harness/parallel.go", // experiment-cell worker pool
+}
+
+// Analyzer is the nogoroutine rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "nogoroutine",
+	Doc: "forbid go statements outside the engine scheduler and the harness worker pool; " +
+		"stray goroutines break deterministic event ordering and zero-alloc accounting",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if allowed(filename) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"go statement outside the scheduler allowlist; run work on the engine "+
+						"(sim.Engine.Spawn / At / After) so event order stays deterministic, "+
+						"or extend the allowlist in internal/analysis/nogoroutine with a design note")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func allowed(filename string) bool {
+	filename = strings.ReplaceAll(filename, "\\", "/")
+	for _, suffix := range allowedFiles {
+		if strings.HasSuffix(filename, suffix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"shrimp/internal/analysis/analysistest"
+	"shrimp/internal/analysis/nogoroutine"
+)
+
+func TestNogoroutine(t *testing.T) {
+	analysistest.Run(t, "testdata", nogoroutine.Analyzer,
+		"shrimp/internal/svm",
+		"shrimp/internal/sim",
+	)
+}

@@ -1,0 +1,18 @@
+// Package svm is a nogoroutine fixture: a protocol package that must
+// not spawn OS-scheduled goroutines.
+package svm
+
+func protocolStep(ch chan int) {
+	go func() { ch <- 1 }() // want `go statement outside the scheduler allowlist`
+}
+
+func fanOut(fs []func()) {
+	for _, f := range fs {
+		go f() // want `go statement outside the scheduler allowlist`
+	}
+}
+
+func justified(f func()) {
+	//lint:ignore nogoroutine fixture: demonstrates a justified suppression
+	go f()
+}

@@ -1,0 +1,40 @@
+package registry_test
+
+import (
+	"fmt"
+	"testing"
+
+	"shrimp/internal/analysis"
+	"shrimp/internal/analysis/load"
+	"shrimp/internal/analysis/registry"
+)
+
+// TestTreeIsClean runs the full shrimpvet suite over the live module
+// and fails on any finding. This keeps `go test ./...` (tier 1) as
+// strict as the CI vet step: a change that violates a determinism or
+// hot-path rule fails the ordinary test run, not just `make lint`.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := load.List("../../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader matched no packages")
+	}
+	suite := registry.All()
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, suite)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+	if t.Failed() {
+		fmt.Println("fix the violation or add a justified //lint:ignore directive (docs/shrimpvet.md)")
+	}
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import "strings"
+
+// simSidePkgs names the packages that live inside the simulated
+// machine: their code runs under the discrete-event engine, so the
+// determinism invariants (no wall clock, no unseeded randomness, no
+// stray goroutines, order-independent iteration) apply in full. The
+// harness, profiler glue and command binaries sit outside the
+// simulation boundary and may read real clocks or fan out goroutines.
+var simSidePkgs = map[string]bool{
+	"sim":       true,
+	"mesh":      true,
+	"nic":       true,
+	"vmmc":      true,
+	"svm":       true,
+	"machine":   true,
+	"memory":    true,
+	"trace":     true,
+	"bsp":       true,
+	"nx":        true,
+	"ring":      true,
+	"rpc":       true,
+	"socketlib": true,
+	"stats":     true,
+	"apps":      true, // and all subpackages
+}
+
+const internalPrefix = "shrimp/internal/"
+
+// IsSimSide reports whether the package at importPath is inside the
+// simulation boundary. Fixture packages under the analyzers' testdata
+// trees use the same shrimp/internal/... paths, so the rules apply to
+// them identically.
+func IsSimSide(importPath string) bool {
+	rest, ok := strings.CutPrefix(importPath, internalPrefix)
+	if !ok {
+		return false
+	}
+	head, _, _ := strings.Cut(rest, "/")
+	return simSidePkgs[head]
+}

@@ -1,0 +1,64 @@
+// Package nic exercises every guard form tracenil understands.
+package nic
+
+import "shrimp/internal/trace"
+
+type nic struct {
+	tr *trace.Recorder
+}
+
+func (n *nic) badUnguarded(t int64) {
+	n.tr.Record(1, t) // want `called without the cached nil-recorder guard`
+}
+
+func (n *nic) badWrongGuard(t int64, hot bool) {
+	if hot {
+		n.tr.Latency(2, t) // want `called without the cached nil-recorder guard`
+	}
+}
+
+func (n *nic) okGuarded(t int64) {
+	if n.tr != nil {
+		n.tr.Record(1, t)
+	}
+}
+
+func (n *nic) okAliasGuard(t int64) {
+	if tr := n.tr; tr != nil {
+		tr.Record(1, t)
+	}
+}
+
+func (n *nic) okConjunct(t int64, hot bool) {
+	if n.tr != nil && hot {
+		n.tr.Latency(2, t)
+	}
+}
+
+func (n *nic) okBailout(t int64) {
+	if n.tr == nil {
+		return
+	}
+	n.tr.Record(1, t)
+}
+
+func (n *nic) okElseOfNil(t int64) {
+	if n.tr == nil {
+		_ = t
+	} else {
+		n.tr.Record(1, t)
+	}
+}
+
+// okClosure: a literal spawned under the guard inherits its knowledge.
+func (n *nic) okClosure(t int64) {
+	if n.tr != nil {
+		f := func() { n.tr.Record(1, t) }
+		f()
+	}
+}
+
+func (n *nic) justified(t int64) {
+	//lint:ignore tracenil fixture: demonstrates a justified suppression
+	n.tr.Record(1, t)
+}

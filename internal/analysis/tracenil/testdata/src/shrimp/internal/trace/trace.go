@@ -1,0 +1,10 @@
+// Package trace is a fixture stand-in for the real recorder, matched
+// by tracenil through its "internal/trace" import-path suffix.
+package trace
+
+// Recorder mirrors the real type: a nil *Recorder means tracing is
+// disabled.
+type Recorder struct{ n int }
+
+func (r *Recorder) Record(kind int, t int64)  { r.n++ }
+func (r *Recorder) Latency(kind int, d int64) { r.n++ }

@@ -1,0 +1,318 @@
+// Package tracenil requires every trace.Recorder call in sim-side
+// packages to sit behind the cached nil-recorder guard.
+//
+// The tracing contract (PR 3) is that a machine built without tracing
+// pays exactly one nil check per hook — no allocation, no branch into
+// the recorder, byte-identical output to the seed. That only holds if
+// every hook spells the guard: components cache the recorder pointer
+// at construction and wrap each call in `if tr != nil { ... }` (or
+// bail early with `if tr == nil { return }`). An unguarded call either
+// panics on a nil recorder or, worse, forces callers to construct a
+// recorder "just in case", dragging allocations back into the data
+// path. This analyzer proves the guard is present on every call, in
+// every future layer, before the AllocsPerRun=0 tests ever run.
+package tracenil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"shrimp/internal/analysis"
+)
+
+// Analyzer is the tracenil rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "tracenil",
+	Doc: "require trace.Recorder calls in sim-side packages to be guarded by the cached " +
+		"nil-recorder check, so disabled tracing stays one nil test",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !analysis.IsSimSide(path) || strings.HasSuffix(path, "internal/trace") {
+		// The trace package itself is the implementation; the guard
+		// protocol binds its clients.
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkBlock(pass, fd.Body.List, map[string]bool{})
+			}
+		}
+	}
+	return nil
+}
+
+// checkBlock walks one statement list. known holds the renderings of
+// expressions proven non-nil at the current point; early-return guards
+// (`if r == nil { return }`) extend it for the rest of the block.
+func checkBlock(pass *analysis.Pass, stmts []ast.Stmt, known map[string]bool) {
+	known = clone(known)
+	for _, s := range stmts {
+		checkStmt(pass, s, known)
+		if name, ok := nilBailout(s); ok {
+			known[name] = true
+		}
+	}
+}
+
+func checkStmt(pass *analysis.Pass, s ast.Stmt, known map[string]bool) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			checkStmt(pass, s.Init, known)
+		}
+		scanExprs(pass, s.Cond, known)
+		thenKnown := clone(known)
+		for _, name := range notNilConjuncts(s.Cond) {
+			thenKnown[name] = true
+		}
+		checkBlock(pass, s.Body.List, thenKnown)
+		if s.Else != nil {
+			elseKnown := clone(known)
+			for _, name := range nilDisjuncts(s.Cond) {
+				elseKnown[name] = true
+			}
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				checkBlock(pass, e.List, elseKnown)
+			default:
+				checkStmt(pass, e, elseKnown)
+			}
+		}
+	case *ast.BlockStmt:
+		checkBlock(pass, s.List, known)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			checkStmt(pass, s.Init, known)
+		}
+		if s.Cond != nil {
+			scanExprs(pass, s.Cond, known)
+		}
+		if s.Post != nil {
+			checkStmt(pass, s.Post, known)
+		}
+		checkBlock(pass, s.Body.List, known)
+	case *ast.RangeStmt:
+		scanExprs(pass, s.X, known)
+		checkBlock(pass, s.Body.List, known)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			checkStmt(pass, s.Init, known)
+		}
+		if s.Tag != nil {
+			scanExprs(pass, s.Tag, known)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				scanExprs(pass, e, known)
+			}
+			checkBlock(pass, cc.Body, known)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			checkStmt(pass, s.Init, known)
+		}
+		checkStmt(pass, s.Assign, known)
+		for _, c := range s.Body.List {
+			checkBlock(pass, c.(*ast.CaseClause).Body, known)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				checkStmt(pass, cc.Comm, known)
+			}
+			checkBlock(pass, cc.Body, known)
+		}
+	case *ast.LabeledStmt:
+		checkStmt(pass, s.Stmt, known)
+	default:
+		scanStmtExprs(pass, s, known)
+	}
+}
+
+// scanStmtExprs inspects a leaf statement (assignment, expression,
+// return, defer, ...) for recorder calls.
+func scanStmtExprs(pass *analysis.Pass, s ast.Stmt, known map[string]bool) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// The closure may run later, but recorder fields are set
+			// once at construction, so enclosing guards stay valid.
+			checkBlock(pass, n.Body.List, known)
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, n, known)
+		}
+		return true
+	})
+}
+
+// scanExprs inspects an expression tree for recorder calls.
+func scanExprs(pass *analysis.Pass, e ast.Expr, known map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkBlock(pass, n.Body.List, known)
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, n, known)
+		}
+		return true
+	})
+}
+
+// checkCall reports a Recorder method call whose receiver is not
+// proven non-nil.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, known map[string]bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !isRecorderPtr(tv.Type) {
+		return
+	}
+	recv := types.ExprString(sel.X)
+	if known[recv] {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"(*trace.Recorder).%s called without the cached nil-recorder guard on %q; "+
+			"wrap it in `if %s != nil { ... }` so disabled tracing costs one nil check",
+		sel.Sel.Name, recv, recv)
+}
+
+// isRecorderPtr reports whether t is *trace.Recorder (matched by
+// package-path suffix so fixture trees qualify).
+func isRecorderPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Recorder" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/trace")
+}
+
+// notNilConjuncts extracts expressions proven non-nil when cond is
+// true: the `x != nil` terms of an && conjunction.
+func notNilConjuncts(cond ast.Expr) []string {
+	var out []string
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			walk(e.X)
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.LAND:
+				walk(e.X)
+				walk(e.Y)
+			case token.NEQ:
+				if name, ok := nilComparand(e); ok {
+					out = append(out, name)
+				}
+			}
+		}
+	}
+	walk(cond)
+	return out
+}
+
+// nilDisjuncts extracts expressions proven non-nil when cond is FALSE:
+// the `x == nil` terms of an || disjunction (De Morgan).
+func nilDisjuncts(cond ast.Expr) []string {
+	var out []string
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			walk(e.X)
+		case *ast.BinaryExpr:
+			switch e.Op {
+			case token.LOR:
+				walk(e.X)
+				walk(e.Y)
+			case token.EQL:
+				if name, ok := nilComparand(e); ok {
+					out = append(out, name)
+				}
+			}
+		}
+	}
+	walk(cond)
+	return out
+}
+
+// nilComparand returns the rendering of X in `X op nil` / `nil op X`.
+func nilComparand(e *ast.BinaryExpr) (string, bool) {
+	if isNilIdent(e.Y) {
+		return types.ExprString(e.X), true
+	}
+	if isNilIdent(e.X) {
+		return types.ExprString(e.Y), true
+	}
+	return "", false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// nilBailout matches the early-return guard form
+//
+//	if x == nil { return }   (or continue/break/panic)
+//
+// after which x is non-nil for the rest of the enclosing block.
+func nilBailout(s ast.Stmt) (string, bool) {
+	ifs, ok := s.(*ast.IfStmt)
+	if !ok || ifs.Else != nil || ifs.Init != nil || len(ifs.Body.List) == 0 {
+		return "", false
+	}
+	names := nilDisjuncts(ifs.Cond)
+	if len(names) != 1 {
+		return "", false
+	}
+	if !terminates(ifs.Body.List[len(ifs.Body.List)-1]) {
+		return "", false
+	}
+	return names[0], true
+}
+
+// terminates reports whether s unconditionally leaves the block.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func clone(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

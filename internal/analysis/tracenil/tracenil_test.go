@@ -1,0 +1,12 @@
+package tracenil_test
+
+import (
+	"testing"
+
+	"shrimp/internal/analysis/analysistest"
+	"shrimp/internal/analysis/tracenil"
+)
+
+func TestTracenil(t *testing.T) {
+	analysistest.Run(t, "testdata", tracenil.Analyzer, "shrimp/internal/nic")
+}

@@ -1,0 +1,29 @@
+// Package randapp is an unseededrand fixture standing in for a
+// simulated application under internal/apps.
+package randapp
+
+import "math/rand"
+
+func badGlobals() {
+	_ = rand.Intn(16)     // want `math/rand\.Intn uses the globally-seeded generator`
+	_ = rand.Float64()    // want `math/rand\.Float64 uses the globally-seeded generator`
+	rand.Shuffle(4, func(i, j int) {}) // want `math/rand\.Shuffle uses the globally-seeded generator`
+	rand.Seed(1)          // want `math/rand\.Seed uses the globally-seeded generator`
+}
+
+func badConstSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `math/rand\.NewSource with a constant seed`
+}
+
+// okCellSeed derives the stream from the experiment cell, so every
+// run of the cell replays identically.
+func okCellSeed(cellIndex int, nodes int) *rand.Rand {
+	seed := int64(cellIndex)*1e9 + int64(nodes)
+	return rand.New(rand.NewSource(seed))
+}
+
+func okMethods(r *rand.Rand) int {
+	// Methods on an explicitly-seeded generator are the sanctioned
+	// form.
+	return r.Intn(16)
+}

@@ -1,0 +1,7 @@
+// Package harness sits outside the simulation boundary; shuffling
+// work across the pool with the global generator is harmless there.
+package harness
+
+import "math/rand"
+
+func jitter() int { return rand.Intn(1000) }

@@ -1,0 +1,110 @@
+// Package unseededrand forbids nondeterministically-seeded randomness
+// inside the simulation boundary.
+//
+// The global math/rand generator is seeded from runtime entropy since
+// Go 1.20, and math/rand/v2 has no deterministic global at all: any
+// workload that draws from them produces a different event stream each
+// run, which the harness's byte-identical determinism diff would catch
+// only after the damage is done. Simulated applications must derive
+// their generators from cell configuration — rand.New(rand.NewSource(
+// seed)) with a seed computed from the experiment parameters — so a
+// cell replays identically at any -parallel width.
+package unseededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"shrimp/internal/analysis"
+)
+
+// Analyzer is the unseededrand rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "unseededrand",
+	Doc: "forbid math/rand global functions and constant-seeded sources in sim-side packages; " +
+		"generators must be seeded from the experiment cell",
+	Run: run,
+}
+
+// randPkgs are the stochastic packages the rule covers.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// constructors may be called — with a cell-derived (non-constant)
+// seed, which run checks separately.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsSimSide(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkSeed(pass, call)
+				return true
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on an explicit *Rand are fine
+			}
+			if !constructors[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"%s.%s uses the globally-seeded generator, which differs across runs; "+
+						"draw from a rand.New(rand.NewSource(seed)) derived from the experiment cell",
+					fn.Pkg().Path(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// seedSources are the constructors whose argument IS the seed.
+var seedSources = map[string]bool{
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// checkSeed flags rand.NewSource(42)-style calls: a constant seed
+// means every cell in an experiment grid replays the same stream,
+// which silently collapses a randomized workload into one sample.
+func checkSeed(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] || !seedSources[fn.Name()] {
+		return
+	}
+	for _, arg := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; !ok || tv.Value == nil {
+			return // at least one non-constant argument: cell-derived
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"%s.%s with a constant seed gives every experiment cell the same stream; "+
+			"derive the seed from the cell parameters",
+		fn.Pkg().Path(), fn.Name())
+}

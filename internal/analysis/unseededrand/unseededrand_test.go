@@ -1,0 +1,15 @@
+package unseededrand_test
+
+import (
+	"testing"
+
+	"shrimp/internal/analysis/analysistest"
+	"shrimp/internal/analysis/unseededrand"
+)
+
+func TestUnseededrand(t *testing.T) {
+	analysistest.Run(t, "testdata", unseededrand.Analyzer,
+		"shrimp/internal/apps/randapp",
+		"shrimp/internal/harness",
+	)
+}

@@ -1,0 +1,31 @@
+// Package sim is a walltime fixture standing in for a sim-side package.
+package sim
+
+import "time"
+
+// Time mirrors the simulator's virtual clock type.
+type Time int64
+
+func badClockReads() {
+	_ = time.Now()                      // want `time\.Now reads the wall clock`
+	_ = time.Since(time.Time{})         // want `time\.Since reads the wall clock`
+	time.Sleep(time.Millisecond)        // want `time\.Sleep reads the wall clock`
+	_ = time.After(time.Second)         // want `time\.After reads the wall clock`
+	_ = time.NewTimer(time.Second)      // want `time\.NewTimer reads the wall clock`
+	_ = time.Tick(time.Second)          // want `time\.Tick reads the wall clock`
+	f := time.Now                       // want `time\.Now reads the wall clock`
+	_ = f
+}
+
+func okDurations() {
+	// Pure conversions and constants never observe the host clock.
+	const step = 40 * time.Nanosecond
+	var d time.Duration = step
+	_ = d.Nanoseconds()
+	_ = Time(step)
+}
+
+func justified() {
+	//lint:ignore walltime fixture: demonstrates a justified suppression
+	_ = time.Now()
+}

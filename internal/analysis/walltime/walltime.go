@@ -1,0 +1,77 @@
+// Package walltime forbids reading the real clock inside the
+// simulation boundary.
+//
+// Every experiment number in this repo rests on virtual time: the
+// engine's clock advances only when events fire, which is what makes
+// runs byte-identical across machines, repetitions and -parallel
+// worker counts. A single time.Now() smuggled into a model (say, to
+// timestamp a trace event or to seed a backoff) silently couples the
+// simulated hardware to host scheduling — the reproduction would still
+// run, and still print plausible numbers, exactly the failure mode the
+// paper's own firmware "what if" instrumentation had to guard against.
+// Only the harness, profiler glue and command binaries (which measure
+// the simulator, not the machine) may consult wall clocks.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"shrimp/internal/analysis"
+)
+
+// forbidden lists the package time functions that read or depend on
+// the real clock. Pure conversions and constants (time.Duration,
+// time.Unix) stay legal: they do not observe the host.
+var forbidden = map[string]string{
+	"Now":       "read the engine clock (sim.Engine.Now) instead",
+	"Since":     "subtract sim.Time values instead",
+	"Until":     "subtract sim.Time values instead",
+	"Sleep":     "park the process with Proc.Sleep instead",
+	"After":     "schedule with sim.Engine.After instead",
+	"AfterFunc": "schedule with sim.Engine.After instead",
+	"Tick":      "schedule repeating events on the engine instead",
+	"NewTicker": "schedule repeating events on the engine instead",
+	"NewTimer":  "use sim.Engine.NewTimer instead",
+	"Timer":     "use sim.Timer instead",
+	"Ticker":    "schedule repeating events on the engine instead",
+}
+
+// Analyzer is the walltime rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "forbid wall-clock time (time.Now, time.Since, time.NewTimer, ...) in sim-side packages; " +
+		"simulated hardware must advance only on the engine's virtual clock",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsSimSide(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if _, isType := obj.(*types.TypeName); isType && obj.Name() != "Timer" && obj.Name() != "Ticker" {
+				return true
+			}
+			if hint, bad := forbidden[obj.Name()]; bad {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock, which breaks simulation determinism; %s",
+					obj.Name(), hint)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"shrimp/internal/analysis/analysistest"
+	"shrimp/internal/analysis/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata", walltime.Analyzer,
+		"shrimp/internal/sim",
+		"shrimp/internal/harness",
+	)
+}

@@ -204,6 +204,8 @@ func (n *Network) Attach(id NodeID, s Sink) {
 // Acquire returns a zeroed packet, recycled from the freelist when
 // possible. The caller fills Src, Dst, Size and Payload and passes it to
 // Send; the receiving side returns it with Release.
+//
+//shrimp:hotpath
 func (n *Network) Acquire() *Packet {
 	if k := len(n.pool); k > 0 {
 		pkt := n.pool[k-1]
@@ -211,7 +213,9 @@ func (n *Network) Acquire() *Packet {
 		n.pool = n.pool[:k-1]
 		return pkt
 	}
+	//lint:ignore hotpath pool-miss fill: the packet and its delivery thunk are built once and recycled forever
 	pkt := &Packet{}
+	//lint:ignore hotpath pool-miss fill: the pre-built thunk is exactly what keeps steady-state Send closure-free
 	pkt.deliver = func() { n.sinks[pkt.Dst](pkt) }
 	return pkt
 }
@@ -219,6 +223,8 @@ func (n *Network) Acquire() *Packet {
 // Release returns a delivered packet to the freelist. Packets that were
 // constructed literally (no delivery thunk) and packets of a NoFastPath
 // network are dropped for the garbage collector instead.
+//
+//shrimp:hotpath
 func (n *Network) Release(pkt *Packet) {
 	if n.cfg.NoFastPath || pkt.deliver == nil {
 		return
@@ -274,6 +280,8 @@ func (n *Network) path(src, dst NodeID) []*link {
 // route returns the cached path from src to dst, computing it on first
 // use. src != dst is required (loopback never touches the backplane), so
 // a non-nil cached route is never empty and nil means "not yet filled".
+//
+//shrimp:hotpath
 func (n *Network) route(src, dst NodeID) []*link {
 	if n.cfg.NoFastPath {
 		return n.path(src, dst)
@@ -297,6 +305,8 @@ func (n *Network) Hops(src, dst NodeID) int {
 // Send injects a packet at the current instant and schedules its
 // delivery at the destination sink. It returns the delivery time.
 // Send may be called from engine or process context.
+//
+//shrimp:hotpath
 func (n *Network) Send(pkt *Packet) sim.Time {
 	if n.sinks[pkt.Dst] == nil {
 		panic(fmt.Sprintf("mesh: send to unattached node %d", pkt.Dst))
@@ -304,6 +314,7 @@ func (n *Network) Send(pkt *Packet) sim.Time {
 	deliver := pkt.deliver
 	if deliver == nil {
 		// Literal (unpooled) packet: build the delivery thunk once.
+		//lint:ignore hotpath fallback for hand-built literal packets (tests, NoFastPath); pooled traffic never reaches it
 		deliver = func() { n.sinks[pkt.Dst](pkt) }
 	}
 	now := n.e.Now()
@@ -347,6 +358,8 @@ func (n *Network) Send(pkt *Packet) sim.Time {
 // delivery, plus its transit-latency sample. The delivery event is
 // recorded at injection time because the delivery thunk is pre-built
 // and must stay allocation-free; the exporters re-sort by timestamp.
+//
+//shrimp:hotpath
 func (n *Network) tracePacket(pkt *Packet, now, t sim.Time) {
 	if n.tr == nil {
 		return

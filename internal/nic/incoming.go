@@ -15,6 +15,7 @@ import (
 // the NIC payload is unwrapped; the NIC packet itself is released to its
 // owning NIC's freelist once every delivery hook has run. Hooks that
 // need the packet beyond that instant must Clone it.
+//shrimp:hotpath
 func (n *NIC) rxEngine(p *sim.Proc) {
 	for {
 		mp := n.rxQueue.Pop(p)

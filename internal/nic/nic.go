@@ -264,6 +264,7 @@ func (n *NIC) Start() {
 
 // allocPacket takes a packet from the freelist or builds a fresh one
 // with its FIFO thunk bound.
+//shrimp:hotpath
 func (n *NIC) allocPacket() *Packet {
 	if k := len(n.pktFree); k > 0 {
 		pkt := n.pktFree[k-1]
@@ -271,13 +272,16 @@ func (n *NIC) allocPacket() *Packet {
 		n.pktFree = n.pktFree[:k-1]
 		return pkt
 	}
+	//lint:ignore hotpath pool-miss fill: the packet is built once and recycled forever
 	pkt := &Packet{owner: n}
+	//lint:ignore hotpath pool-miss fill: the pre-built FIFO thunk keeps the steady-state AU path closure-free
 	pkt.fifoFn = func() { pkt.owner.fifoArrive(pkt, pkt.fifoDst) }
 	return pkt
 }
 
 // releasePacket returns a consumed packet to its owning NIC's freelist.
 // Literal packets (no owner) and pooling-disabled NICs drop it instead.
+//shrimp:hotpath
 func releasePacket(pkt *Packet) {
 	o := pkt.owner
 	if o == nil || o.cfg.NoPool {
@@ -287,6 +291,7 @@ func releasePacket(pkt *Packet) {
 }
 
 // allocDU takes a transfer request from the freelist.
+//shrimp:hotpath
 func (n *NIC) allocDU() *duRequest {
 	if k := len(n.duFree); k > 0 {
 		r := n.duFree[k-1]
@@ -294,10 +299,12 @@ func (n *NIC) allocDU() *duRequest {
 		n.duFree = n.duFree[:k-1]
 		return r
 	}
+	//lint:ignore hotpath pool-miss fill: amortized to zero once the request queue warms up
 	return &duRequest{}
 }
 
 // releaseDU recycles a completed transfer request.
+//shrimp:hotpath
 func (n *NIC) releaseDU(r *duRequest) {
 	if n.cfg.NoPool {
 		return
@@ -337,6 +344,7 @@ func (n *NIC) UnmapOutgoing(vpn int) {
 // Outgoing looks up the OPT entry for vpn. The returned pointer is into
 // the table and is invalidated by the next MapOutgoing; callers use it
 // immediately and do not hold it across mapping changes.
+//shrimp:hotpath
 func (n *NIC) Outgoing(vpn int) (*OPTEntry, bool) {
 	if vpn < 0 || vpn >= len(n.opt) || !n.opt[vpn].Valid {
 		return nil, false
@@ -372,6 +380,7 @@ func (n *NIC) ClearIncoming(vpn int) {
 }
 
 // incoming looks up the IPT entry for a receiver physical page.
+//shrimp:hotpath
 func (n *NIC) incoming(vpn int) (*IPTEntry, bool) {
 	if vpn < 0 || vpn >= len(n.ipt) || !n.ipt[vpn].Valid {
 		return nil, false

@@ -19,6 +19,7 @@ import (
 // (depth Config.DUQueueDepth); it returns as soon as the request is
 // accepted, making sends asynchronous. The caller is responsible for
 // charging the CPU-side initiation overhead.
+//shrimp:hotpath
 func (n *NIC) SendDU(p *sim.Proc, src, proxy memory.Addr, size int, interrupt, endOfMsg bool) {
 	if size <= 0 || size > n.cfg.MaxTransfer {
 		panic(fmt.Sprintf("nic: DU transfer size %d out of range", size))
@@ -70,6 +71,7 @@ func (n *NIC) WaitDUIdle(p *sim.Proc) {
 // duEngine is the deliberate-update DMA engine: it pops transfer
 // requests, arbitrates for the memory bus (which cannot cycle-share with
 // the CPU), reads the payload over the EISA bus, and injects a packet.
+//shrimp:hotpath
 func (n *NIC) duEngine(p *sim.Proc) {
 	for {
 		req := n.duQueue.Pop(p)
@@ -116,6 +118,7 @@ func grow(buf []byte, n int) []byte {
 }
 
 // inject serializes a packet onto the backplane through the NIC port.
+//shrimp:hotpath
 func (n *NIC) inject(p *sim.Proc, pkt *Packet, dst mesh.NodeID) {
 	wire := n.wireSize(len(pkt.Data))
 	n.nicPort.Acquire(p)
@@ -133,6 +136,7 @@ func (n *NIC) inject(p *sim.Proc, pkt *Packet, dst mesh.NodeID) {
 // space's snoop hook by the machine layer). It runs synchronously at the
 // store instant and never blocks: flow-control stalls are enforced
 // before the store by WaitAUReady.
+//shrimp:hotpath
 func (n *NIC) Snoop(addr memory.Addr, size int) {
 	if !n.cfg.AutomaticUpdate {
 		return
@@ -163,6 +167,7 @@ func (n *NIC) Snoop(addr memory.Addr, size int) {
 
 // auStore handles one snooped word-sized store to an AU-bound page.
 // data is a transient view; it must be consumed before returning.
+//shrimp:hotpath
 func (n *NIC) auStore(vpn int, ent *OPTEntry, off int, data []byte) {
 	if !n.cfg.Combining || !ent.Combine {
 		// A non-combinable store must not overtake earlier combined
@@ -193,6 +198,7 @@ func (n *NIC) auStore(vpn int, ent *OPTEntry, off int, data []byte) {
 }
 
 // flushCombine emits the pending combined AU packet, if any.
+//shrimp:hotpath
 func (n *NIC) flushCombine() {
 	c := &n.combine
 	if !c.active {
@@ -212,6 +218,7 @@ func (n *NIC) flushCombine() {
 // The packet reaches the outgoing FIFO after the snoop path's
 // board-crossing latency (memory-bus board to EISA-bus board to OPT
 // lookup to packetizer).
+//shrimp:hotpath
 func (n *NIC) emitAU(dst mesh.NodeID, dstPage, off int, interrupt bool, data []byte) {
 	pkt := n.allocPacket()
 	pkt.Kind = AU
@@ -233,6 +240,7 @@ func (n *NIC) emitAU(dst mesh.NodeID, dstPage, off int, interrupt bool, data []b
 
 // fifoArrive enqueues an AU packet into the outgoing FIFO and applies
 // the threshold flow-control rule.
+//shrimp:hotpath
 func (n *NIC) fifoArrive(pkt *Packet, dst mesh.NodeID) {
 	wire := n.wireSize(len(pkt.Data))
 	n.fifoBytes += wire
@@ -258,6 +266,7 @@ type fifoEntry struct {
 	dst mesh.NodeID
 }
 
+//shrimp:hotpath
 func (n *NIC) fifoPush(pkt *Packet, dst mesh.NodeID) {
 	n.fifo.Push(fifoEntry{pkt: pkt, dst: dst})
 }
@@ -290,6 +299,7 @@ func (n *NIC) FenceAU(p *sim.Proc) {
 // outEngine drains the outgoing FIFO into the backplane. Draining
 // contends with packet reception for the NIC port, so the FIFO cannot
 // drain while a packet is arriving — the effect §4.5.2 identifies.
+//shrimp:hotpath
 func (n *NIC) outEngine(p *sim.Proc) {
 	for {
 		e := n.fifo.Pop(p)

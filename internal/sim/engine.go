@@ -124,6 +124,8 @@ func (e *Engine) Live() int { return e.live }
 func (e *Engine) Blocked() int { return e.blocked }
 
 // alloc takes an event from the freelist or allocates a fresh one.
+//
+//shrimp:hotpath
 func (e *Engine) alloc() *event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
@@ -131,11 +133,14 @@ func (e *Engine) alloc() *event {
 		e.free = e.free[:n-1]
 		return ev
 	}
+	//lint:ignore hotpath freelist-miss fill: amortized to zero once the calendar warms up
 	return &event{}
 }
 
 // recycle returns a fired or canceled event to the freelist, dropping
 // its references so closures and processes become collectible.
+//
+//shrimp:hotpath
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
 	ev.proc = nil
@@ -146,6 +151,8 @@ func (e *Engine) recycle(ev *event) {
 
 // push stamps ev with the next seq and files it on the calendar: the
 // same-instant FIFO when it is due now, the heap otherwise.
+//
+//shrimp:hotpath
 func (e *Engine) push(ev *event) {
 	ev.seq = e.seq
 	e.seq++
@@ -157,6 +164,8 @@ func (e *Engine) push(ev *event) {
 }
 
 // heapPush inserts ev into the binary heap (sift up).
+//
+//shrimp:hotpath
 func (e *Engine) heapPush(ev *event) {
 	h := append(e.events, ev)
 	i := len(h) - 1
@@ -172,6 +181,8 @@ func (e *Engine) heapPush(ev *event) {
 }
 
 // heapPop removes and returns the earliest heap event (sift down).
+//
+//shrimp:hotpath
 func (e *Engine) heapPop() *event {
 	h := e.events
 	n := len(h) - 1
@@ -202,6 +213,8 @@ func (e *Engine) heapPop() *event {
 // next removes and returns the next live event, merging the same-instant
 // FIFO with the heap by (t, seq) and discarding canceled entries. Events
 // past the RunUntil limit are left in place and nil is returned.
+//
+//shrimp:hotpath
 func (e *Engine) next() *event {
 	for {
 		var ev *event
@@ -303,6 +316,8 @@ func (e *Engine) scheduleExit() {
 
 // At schedules fn to run in engine context at time t. Scheduling in the
 // past panics: it would break causality.
+//
+//shrimp:hotpath
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
@@ -314,6 +329,8 @@ func (e *Engine) At(t Time, fn func()) {
 }
 
 // After schedules fn to run in engine context d nanoseconds from now.
+//
+//shrimp:hotpath
 func (e *Engine) After(d Time, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -478,6 +495,8 @@ type Timer struct {
 }
 
 // NewTimer schedules fn to run after d; the returned Timer can cancel it.
+//
+//shrimp:hotpath
 func (e *Engine) NewTimer(d Time, fn func()) Timer {
 	ev := e.alloc()
 	ev.t = e.now + d

@@ -20,12 +20,16 @@ func NewQueue[T any](e *Engine) *Queue[T] {
 }
 
 // Push appends v and wakes one waiting consumer.
+//
+//shrimp:hotpath
 func (q *Queue[T]) Push(v T) {
 	q.items = append(q.items, v)
 	q.cond.Signal()
 }
 
 // Pop removes and returns the head item, blocking p until one exists.
+//
+//shrimp:hotpath
 func (q *Queue[T]) Pop(p *Proc) T {
 	for q.head == len(q.items) {
 		q.cond.Wait(p)
@@ -34,6 +38,8 @@ func (q *Queue[T]) Pop(p *Proc) T {
 }
 
 // take removes the head item, recycling the backing slice on drain.
+//
+//shrimp:hotpath
 func (q *Queue[T]) take() T {
 	v := q.items[q.head]
 	var zero T
@@ -47,6 +53,8 @@ func (q *Queue[T]) take() T {
 }
 
 // TryPop removes and returns the head item without blocking.
+//
+//shrimp:hotpath
 func (q *Queue[T]) TryPop() (T, bool) {
 	if q.head == len(q.items) {
 		var zero T
@@ -56,6 +64,8 @@ func (q *Queue[T]) TryPop() (T, bool) {
 }
 
 // Peek returns the head item without removing it.
+//
+//shrimp:hotpath
 func (q *Queue[T]) Peek() (T, bool) {
 	if q.head == len(q.items) {
 		var zero T
