@@ -3,7 +3,7 @@
 
 GOBIN := $(CURDIR)/bin
 
-.PHONY: all lint test bench-smoke determinism clean
+.PHONY: all lint test bench-smoke determinism serve-smoke clean
 
 all: lint test
 
@@ -30,6 +30,12 @@ determinism:
 	$(GOBIN)/shrimpbench -exp table1,figure3 -quick -parallel 4 > $(GOBIN)/parallel.txt
 	diff $(GOBIN)/serial.txt $(GOBIN)/parallel.txt
 	@echo "determinism: byte-identical across -parallel 1 and -parallel 4"
+
+# serve-smoke boots shrimpd and checks the HTTP API end to end: health,
+# NDJSON results byte-identical to shrimpbench -json, cache hits on a
+# repeated job, and a clean SIGTERM drain.
+serve-smoke:
+	BIN=$(GOBIN) bash scripts/serve_smoke.sh
 
 clean:
 	rm -rf $(GOBIN)

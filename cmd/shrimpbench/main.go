@@ -31,81 +31,6 @@ import (
 	"shrimp/internal/trace"
 )
 
-// emitFunc renders one experiment's rows (text table or JSON records).
-type emitFunc func(name string, rows any, print func())
-
-// experiments lists every driver in report order, with the one-line
-// descriptions `-exp list` prints.
-var experiments = []struct {
-	name, desc string
-	run        func(cfg harness.Config, w io.Writer, emit emitFunc)
-}{
-	{"latency", "§4.1/§4.2 microbenchmarks: DU/AU message latency and send overhead",
-		func(cfg harness.Config, w io.Writer, emit emitFunc) {
-			got := harness.Latency()
-			emit("latency", got, func() { harness.PrintLatency(w, got) })
-		}},
-	{"table1", "Table 1: applications, problem sizes, sequential execution times",
-		func(cfg harness.Config, w io.Writer, emit emitFunc) {
-			rows := harness.Table1(cfg)
-			emit("table1", rows, func() { harness.PrintTable1(w, rows, &cfg.Workloads) })
-		}},
-	{"figure3", "Figure 3: speedup curves, better of AU/DU per application",
-		func(cfg harness.Config, w io.Writer, emit emitFunc) {
-			curves := harness.Figure3(cfg)
-			emit("figure3", curves, func() { harness.PrintFigure3(w, curves) })
-		}},
-	{"figure4svm", "Figure 4 (left): HLRC vs HLRC-AU vs AURC protocol comparison",
-		func(cfg harness.Config, w io.Writer, emit emitFunc) {
-			rows := harness.Figure4SVM(cfg)
-			emit("figure4svm", rows, func() { harness.PrintFigure4SVM(w, rows) })
-		}},
-	{"figure4audu", "Figure 4 (right): automatic vs deliberate update per application",
-		func(cfg harness.Config, w io.Writer, emit emitFunc) {
-			rows := harness.Figure4AUDU(cfg)
-			emit("figure4audu", rows, func() { harness.PrintFigure4AUDU(w, rows) })
-		}},
-	{"table2", "Table 2: cost of a kernel trap on every message send",
-		func(cfg harness.Config, w io.Writer, emit emitFunc) {
-			rows := harness.Table2(cfg)
-			emit("table2", rows, func() {
-				harness.PrintWhatIf(w, "Table 2: system call per message send", rows)
-			})
-		}},
-	{"table3", "Table 3: notification counts vs total messages",
-		func(cfg harness.Config, w io.Writer, emit emitFunc) {
-			rows := harness.Table3(cfg)
-			emit("table3", rows, func() { harness.PrintTable3(w, rows) })
-		}},
-	{"table4", "Table 4: cost of an interrupt on every arriving message",
-		func(cfg harness.Config, w io.Writer, emit emitFunc) {
-			rows := harness.Table4(cfg)
-			emit("table4", rows, func() {
-				harness.PrintWhatIf(w, "Table 4: interrupt per arriving message", rows)
-			})
-		}},
-	{"combining", "§4.5.1: automatic-update combining on vs off",
-		func(cfg harness.Config, w io.Writer, emit emitFunc) {
-			rows := harness.Combining(cfg)
-			emit("combining", rows, func() { harness.PrintCombining(w, rows) })
-		}},
-	{"fifo", "§4.5.2: outgoing FIFO capacity, 32 KB vs 1 KB",
-		func(cfg harness.Config, w io.Writer, emit emitFunc) {
-			rows := harness.FIFO(cfg)
-			emit("fifo", rows, func() { harness.PrintFIFO(w, rows) })
-		}},
-	{"duqueue", "§4.5.3: deliberate-update request queue, depth 1 vs 2",
-		func(cfg harness.Config, w io.Writer, emit emitFunc) {
-			rows := harness.DUQueue(cfg)
-			emit("duqueue", rows, func() { harness.PrintDUQueue(w, rows) })
-		}},
-	{"perpacket", "Extension (§4.4): interrupt per packet vs per message",
-		func(cfg harness.Config, w io.Writer, emit emitFunc) {
-			rows := harness.InterruptPerPacket(cfg)
-			emit("perpacket", rows, func() { harness.PrintPerPacket(w, rows) })
-		}},
-}
-
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (comma separated; \"list\" prints the catalog)")
 	nodes := flag.Int("nodes", 16, "machine size (the paper's system is 16 nodes)")
@@ -122,8 +47,8 @@ func main() {
 	flag.Parse()
 
 	if *exp == "list" {
-		for _, e := range experiments {
-			fmt.Printf("%-12s %s\n", e.name, e.desc)
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Desc)
 		}
 		return
 	}
@@ -168,31 +93,29 @@ func main() {
 	ran := false
 	w := io.Writer(os.Stdout)
 
-	// emit renders one experiment's rows: a pretty table normally, or
-	// newline-delimited JSON records under -json.
-	emit := func(name string, rows any, print func()) {
-		ran = true
-		if *jsonOut {
-			if err := harness.EmitJSON(w, name, rows); err != nil {
-				fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
-				os.Exit(1)
-			}
-			return
-		}
-		print()
-	}
-
 	if !*jsonOut {
 		fmt.Fprintf(w, "SHRIMP design-choice evaluation — %d nodes, workloads: %s\n",
 			cfg.Nodes, cfg.Workloads.Note)
 	}
 
-	for _, e := range experiments {
-		if !want(e.name) {
+	// Each selected experiment runs through the shared registry and is
+	// rendered as a pretty table normally, or newline-delimited JSON
+	// records under -json.
+	for _, e := range harness.Experiments() {
+		if !want(e.Name) {
 			continue
 		}
-		curExp = e.name
-		e.run(cfg, w, emit)
+		ran = true
+		curExp = e.Name
+		rows := e.Run(cfg)
+		if *jsonOut {
+			if err := harness.EmitJSON(w, e.Name, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		e.Print(w, cfg, rows)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "shrimpbench: unknown experiment %q\n", *exp)

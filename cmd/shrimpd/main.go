@@ -1,0 +1,95 @@
+// Command shrimpd serves the SHRIMP simulator as a daemon: experiment
+// cells and whole named experiments are submitted as jobs over HTTP,
+// run on a bounded worker pool, and streamed back as NDJSON — the same
+// bytes the batch CLIs print for the same work. A content-addressed
+// result cache (optionally spilling to disk) serves repeated cells
+// without re-simulating them.
+//
+// Usage:
+//
+//	shrimpd [-addr :8100] [-nodes N] [-sim-workers N] [-job-workers N]
+//	        [-queue-depth N] [-cache-entries N] [-cache-dir DIR]
+//
+// See docs/shrimpd.md for the API.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"shrimp/internal/resultcache"
+	"shrimp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8100", "listen address")
+	nodes := flag.Int("nodes", 16, "default machine size for experiment jobs")
+	simWorkers := flag.Int("sim-workers", runtime.GOMAXPROCS(0),
+		"simulation cells run concurrently per job")
+	jobWorkers := flag.Int("job-workers", 1, "jobs run concurrently")
+	queueDepth := flag.Int("queue-depth", 16,
+		"jobs allowed to wait; beyond this submissions get 429")
+	cacheEntries := flag.Int("cache-entries", 4096,
+		"cell results kept in memory (0 disables the cache)")
+	cacheDir := flag.String("cache-dir", "",
+		"directory for results evicted from memory (empty = memory only)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long shutdown waits for jobs to stop")
+	flag.Parse()
+
+	log.SetPrefix("shrimpd: ")
+	log.SetFlags(log.LstdFlags)
+
+	var cache *resultcache.Cache
+	if *cacheEntries > 0 {
+		var err error
+		cache, err = resultcache.New(*cacheEntries, *cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv := server.New(server.Config{
+		Nodes:      *nodes,
+		SimWorkers: *simWorkers,
+		JobWorkers: *jobWorkers,
+		QueueDepth: *queueDepth,
+		Cache:      cache,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (nodes=%d sim-workers=%d job-workers=%d queue-depth=%d cache=%v)",
+		*addr, *nodes, *simWorkers, *jobWorkers, *queueDepth, cache != nil)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %v, draining", sig)
+	case err := <-errCh:
+		log.Fatal(err)
+	}
+
+	// Graceful drain: stop intake and cancel jobs, then let in-flight
+	// HTTP responses (result streams observing the cancellation) finish.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("job drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	fmt.Println("shrimpd: drained cleanly")
+}

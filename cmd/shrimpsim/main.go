@@ -20,32 +20,20 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
-	"sort"
 	"strings"
 
 	"shrimp/internal/harness"
 	"shrimp/internal/machine"
 	"shrimp/internal/prof"
 	"shrimp/internal/stats"
-	"shrimp/internal/svm"
 	"shrimp/internal/trace"
 )
-
-var appByName = map[string]harness.App{
-	"barnes-svm": harness.BarnesSVM,
-	"ocean-svm":  harness.OceanSVM,
-	"radix-svm":  harness.RadixSVM,
-	"radix-vmmc": harness.RadixVMMC,
-	"barnes-nx":  harness.BarnesNX,
-	"ocean-nx":   harness.OceanNX,
-	"dfs":        harness.DFSSockets,
-	"render":     harness.RenderSockets,
-}
 
 func main() {
 	appNames := flag.String("app", "", "application(s) to run, comma separated")
@@ -87,15 +75,9 @@ func main() {
 
 	var apps []harness.App
 	for _, name := range strings.Split(*appNames, ",") {
-		app, ok := appByName[strings.ToLower(strings.TrimSpace(name))]
-		if !ok {
-			known := make([]string, 0, len(appByName))
-			for n := range appByName {
-				known = append(known, n)
-			}
-			sort.Strings(known)
-			fmt.Fprintf(os.Stderr, "shrimpsim: unknown app %q (want one of: %s)\n",
-				name, strings.Join(known, " "))
+		app, err := harness.ParseApp(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpsim: %v\n", err)
 			os.Exit(2)
 		}
 		apps = append(apps, app)
@@ -104,30 +86,18 @@ func main() {
 	var cells []harness.Spec
 	for _, app := range apps {
 		spec := harness.Spec{App: app, Nodes: *nodes, Variant: harness.DefaultVariant(app)}
-		switch strings.ToLower(*variant) {
-		case "au":
-			spec.Variant = harness.VariantAU
-		case "du":
-			spec.Variant = harness.VariantDU
-		case "":
-		default:
-			fmt.Fprintf(os.Stderr, "shrimpsim: unknown variant %q\n", *variant)
+		if v, ok, err := harness.ParseVariant(*variant); err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpsim: %v\n", err)
 			os.Exit(2)
+		} else if ok {
+			spec.Variant = v
 		}
-		switch strings.ToLower(*protocol) {
-		case "hlrc":
-			p := svm.HLRC
-			spec.Protocol = &p
-		case "hlrc-au":
-			p := svm.HLRCAU
-			spec.Protocol = &p
-		case "aurc":
-			p := svm.AURC
-			spec.Protocol = &p
-		case "":
-		default:
-			fmt.Fprintf(os.Stderr, "shrimpsim: unknown protocol %q\n", *protocol)
+		if p, ok, err := harness.ParseProtocol(*protocol); err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpsim: %v\n", err)
 			os.Exit(2)
+		} else if ok {
+			p := p
+			spec.Protocol = &p
 		}
 		spec.Mutate = func(c *machine.Config) {
 			c.SyscallPerSend = *syscall
@@ -152,7 +122,7 @@ func main() {
 	if *quick {
 		wl = harness.QuickWorkloads()
 	}
-	results := harness.RunCells(cells, *parallel, &wl)
+	results := harness.RunCells(context.Background(), cells, *parallel, &wl)
 
 	for i, app := range apps {
 		if i > 0 {

@@ -22,6 +22,10 @@ import (
 
 // allowedFiles may contain go statements. Paths are matched by suffix
 // so the rule works from any checkout location and on fixture trees.
+// Whole packages on the host side of the boundary (servers, caches —
+// see analysis.IsHostSide) are exempt wholesale instead: a daemon's
+// connection handling is concurrency by design, not a leak into the
+// simulator.
 var allowedFiles = []string{
 	"internal/sim/engine.go",      // ownership-token scheduler
 	"internal/harness/parallel.go", // experiment-cell worker pool
@@ -36,6 +40,9 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
+	if analysis.IsHostSide(pass.Pkg.Path()) {
+		return nil
+	}
 	for _, f := range pass.Files {
 		if pass.InTestFile(f.Pos()) {
 			continue

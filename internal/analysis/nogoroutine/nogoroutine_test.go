@@ -11,5 +11,6 @@ func TestNogoroutine(t *testing.T) {
 	analysistest.Run(t, "testdata", nogoroutine.Analyzer,
 		"shrimp/internal/svm",
 		"shrimp/internal/sim",
+		"shrimp/internal/server",
 	)
 }

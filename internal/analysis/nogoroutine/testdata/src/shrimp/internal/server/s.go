@@ -1,0 +1,19 @@
+// Package server is a nogoroutine fixture for the host side of the
+// boundary: internal/server is classified host-side (see
+// analysis.IsHostSide), so its goroutine fan-out carries no want
+// comments — none of it may be reported.
+package server
+
+func handle(conns []func()) {
+	for _, c := range conns {
+		go c()
+	}
+}
+
+func worker(jobs chan func()) {
+	go func() {
+		for j := range jobs {
+			j()
+		}
+	}()
+}

@@ -26,7 +26,27 @@ var simSidePkgs = map[string]bool{
 	"apps":      true, // and all subpackages
 }
 
-const internalPrefix = "shrimp/internal/"
+// hostSidePkgs names the packages that are explicitly host-side: they
+// serve, cache or orchestrate simulations from outside the simulated
+// machine, so ordinary server idioms — goroutines per connection, wall
+// clocks for job timestamps, crypto/rand — are part of their job.
+// Sim-side rules gated on IsSimSide never applied to them (they fail
+// IsSimSide), but globally-enforced rules such as nogoroutine consult
+// IsHostSide to exempt whole packages rather than single files.
+// Keys are module-relative paths; subpackages inherit the
+// classification. A package must never appear in both maps: the
+// boundary is what makes "is this code allowed to observe the host?"
+// a one-lookup question.
+var hostSidePkgs = map[string]bool{
+	"cmd/shrimpd":          true, // simulation-as-a-service daemon
+	"internal/resultcache": true, // content-addressed result cache
+	"internal/server":      true, // HTTP job queue and streaming API
+}
+
+const (
+	modulePrefix   = "shrimp/"
+	internalPrefix = "shrimp/internal/"
+)
 
 // IsSimSide reports whether the package at importPath is inside the
 // simulation boundary. Fixture packages under the analyzers' testdata
@@ -39,4 +59,27 @@ func IsSimSide(importPath string) bool {
 	}
 	head, _, _ := strings.Cut(rest, "/")
 	return simSidePkgs[head]
+}
+
+// IsHostSide reports whether the package at importPath (or an ancestor
+// within the module) is classified host-side: free to spawn
+// goroutines, read wall clocks and consume entropy. Packages that are
+// neither sim-side nor host-side (harness, prof, the CLI binaries)
+// get the default treatment: sim-side determinism rules skip them,
+// but the global concurrency rule still applies file by file.
+func IsHostSide(importPath string) bool {
+	rest, ok := strings.CutPrefix(importPath, modulePrefix)
+	if !ok {
+		return false
+	}
+	for {
+		if hostSidePkgs[rest] {
+			return true
+		}
+		i := strings.LastIndexByte(rest, '/')
+		if i < 0 {
+			return false
+		}
+		rest = rest[:i]
+	}
 }

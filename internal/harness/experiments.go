@@ -1,9 +1,9 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
-	"shrimp/internal/machine"
 	"shrimp/internal/sim"
 	"shrimp/internal/svm"
 	"shrimp/internal/trace"
@@ -60,6 +60,17 @@ type Config struct {
 	// cells complete, in cell order — deterministic for any Workers
 	// setting. Nil discards the recorders.
 	TraceSink func(cell Spec, rec *trace.Recorder)
+	// Cache, when non-nil, is consulted for every cell before it is
+	// simulated and populated afterwards (see CellCache). Traced sweeps
+	// bypass it. Because simulation output is byte-deterministic, a hit
+	// is indistinguishable from a fresh run — the parallel-equals-serial
+	// tests hold with or without a cache attached.
+	Cache CellCache
+	// Ctx cancels an in-flight sweep at the next cell boundary (nil =
+	// run to completion). Rows computed from a cancelled sweep are
+	// meaningless — unstarted cells read as zero — so callers must check
+	// Ctx.Err() before using any driver's return value.
+	Ctx context.Context
 }
 
 // DefaultExperimentConfig mirrors the paper's 16-node system.
@@ -78,9 +89,9 @@ type Table1Row struct {
 	PaperSec float64 // -1 when illegible in the source text
 }
 
-// Table1 measures sequential (single-node) execution times.
-func Table1(cfg Config) []Table1Row {
-	cells := make([]Spec, 0, len(AllApps()))
+// Table1Cells builds the Table 1 grid: every application at one node.
+func Table1Cells(cfg Config) []CellSpec {
+	cells := make([]CellSpec, 0, len(AllApps()))
 	for _, a := range AllApps() {
 		nodes := 1
 		if a == OceanNX {
@@ -88,9 +99,15 @@ func Table1(cfg Config) []Table1Row {
 			// two-node time is given, and we follow suit.
 			nodes = 2
 		}
-		cells = append(cells, Spec{App: a, Nodes: nodes, Variant: DefaultVariant(a)})
+		cells = append(cells, CellSpec{App: a.String(), Nodes: nodes,
+			Variant: DefaultVariant(a).String()})
 	}
-	res := cfg.runCells(cells)
+	return cells
+}
+
+// Table1 measures sequential (single-node) execution times.
+func Table1(cfg Config) []Table1Row {
+	res := cfg.runCells(Table1Cells(cfg))
 	rows := make([]Table1Row, 0, len(AllApps()))
 	for i, a := range AllApps() {
 		rows = append(rows, Table1Row{
@@ -116,28 +133,40 @@ func figure3Apps() []App {
 	return []App{OceanNX, RadixVMMC, BarnesNX, RadixSVM, OceanSVM, BarnesSVM}
 }
 
-// Figure3 measures speedup curves, plotting the better of the AU and DU
-// versions as the paper does.
-func Figure3(cfg Config) []Figure3Curve {
+// figure3Points are the machine sizes of the Figure 3 curves.
+func figure3Points(cfg Config) []int {
 	points := []int{1, 2, 4, 8}
 	if cfg.Nodes >= 16 {
 		points = append(points, 16)
 	}
-	// One cell per (app, node count); the 1-node run doubles as the base.
-	cells := make([]Spec, 0, len(figure3Apps())*len(points))
+	return points
+}
+
+// Figure3Cells builds the speedup grid: one cell per (app, node count),
+// the 1-node run doubling as the base.
+func Figure3Cells(cfg Config) []CellSpec {
+	points := figure3Points(cfg)
+	cells := make([]CellSpec, 0, len(figure3Apps())*len(points))
 	for _, a := range figure3Apps() {
-		v := BestVariant(a)
-		cells = append(cells, Spec{App: a, Nodes: 1, Variant: v})
+		v := BestVariant(a).String()
+		cells = append(cells, CellSpec{App: a.String(), Nodes: 1, Variant: v})
 		for _, n := range points {
 			if n > cfg.Nodes {
 				break
 			}
 			if n > 1 {
-				cells = append(cells, Spec{App: a, Nodes: n, Variant: v})
+				cells = append(cells, CellSpec{App: a.String(), Nodes: n, Variant: v})
 			}
 		}
 	}
-	res := cfg.runCells(cells)
+	return cells
+}
+
+// Figure3 measures speedup curves, plotting the better of the AU and DU
+// versions as the paper does.
+func Figure3(cfg Config) []Figure3Curve {
+	points := figure3Points(cfg)
+	res := cfg.runCells(Figure3Cells(cfg))
 	curves := make([]Figure3Curve, 0, len(figure3Apps()))
 	i := 0
 	for _, a := range figure3Apps() {
@@ -174,25 +203,31 @@ type Figure4SVMRow struct {
 // figure4Protocols are the bars per application, HLRC (the base) first.
 var figure4Protocols = []svm.Protocol{svm.HLRC, svm.HLRCAU, svm.AURC}
 
+// Figure4SVMCells builds the protocol-comparison grid.
+func Figure4SVMCells(cfg Config) []CellSpec {
+	apps := []App{BarnesSVM, OceanSVM, RadixSVM}
+	cells := make([]CellSpec, 0, len(apps)*len(figure4Protocols))
+	for _, a := range apps {
+		for _, proto := range figure4Protocols {
+			cells = append(cells, CellSpec{App: a.String(), Nodes: cfg.Nodes,
+				Protocol: proto.String()})
+		}
+	}
+	return cells
+}
+
 // Figure4SVM compares HLRC, HLRC-AU and AURC on the three SVM
 // applications.
 func Figure4SVM(cfg Config) []Figure4SVMRow {
 	apps := []App{BarnesSVM, OceanSVM, RadixSVM}
-	cells := make([]Spec, 0, len(apps)*len(figure4Protocols))
-	for _, a := range apps {
-		for _, proto := range figure4Protocols {
-			proto := proto
-			cells = append(cells, Spec{App: a, Nodes: cfg.Nodes, Protocol: &proto})
-		}
-	}
-	res := cfg.runCells(cells)
-	rows := make([]Figure4SVMRow, 0, len(cells))
+	res := cfg.runCells(Figure4SVMCells(cfg))
+	rows := make([]Figure4SVMRow, 0, len(res))
 	i := 0
-	for range apps {
+	for _, a := range apps {
 		base := float64(res[i].Elapsed) // HLRC comes first
 		for _, proto := range figure4Protocols {
 			r := res[i]
-			row := Figure4SVMRow{App: cells[i].App, Protocol: proto, Elapsed: r.Elapsed}
+			row := Figure4SVMRow{App: a, Protocol: proto, Elapsed: r.Elapsed}
 			total := float64(r.Breakdown.Total())
 			for j := 0; j < 5; j++ {
 				frac := float64(r.Breakdown[j]) / total
@@ -237,17 +272,23 @@ type Figure4AUDURow struct {
 	PaperNote string
 }
 
+// Figure4AUDUCells builds the AU-vs-DU grid.
+func Figure4AUDUCells(cfg Config) []CellSpec {
+	apps := []App{RadixVMMC, OceanNX, BarnesNX}
+	cells := make([]CellSpec, 0, 2*len(apps))
+	for _, a := range apps {
+		cells = append(cells,
+			CellSpec{App: a.String(), Nodes: cfg.Nodes, Variant: "AU"},
+			CellSpec{App: a.String(), Nodes: cfg.Nodes, Variant: "DU"})
+	}
+	return cells
+}
+
 // Figure4AUDU compares automatic vs deliberate update for Radix-VMMC,
 // Ocean-NX and Barnes-NX.
 func Figure4AUDU(cfg Config) []Figure4AUDURow {
 	apps := []App{RadixVMMC, OceanNX, BarnesNX}
-	cells := make([]Spec, 0, 2*len(apps))
-	for _, a := range apps {
-		cells = append(cells,
-			Spec{App: a, Nodes: cfg.Nodes, Variant: VariantAU},
-			Spec{App: a, Nodes: cfg.Nodes, Variant: VariantDU})
-	}
-	res := cfg.runCells(cells)
+	res := cfg.runCells(Figure4AUDUCells(cfg))
 	rows := make([]Figure4AUDURow, 0, len(apps))
 	for i, a := range apps {
 		au := res[2*i].Elapsed
@@ -279,21 +320,27 @@ func percentIncrease(base, mod sim.Time) float64 {
 	return (float64(mod) - float64(base)) / float64(base) * 100
 }
 
-// whatIf runs a baseline and a mutated configuration per app (cells
-// interleaved pairwise) and assembles the comparison rows.
-func whatIf(cfg Config, apps []App, nodesFor func(App) int, mutate func(*machine.Config), paper map[App]float64) []WhatIfRow {
-	cells := make([]Spec, 0, 2*len(apps))
+// whatIfCells builds a baseline-plus-knobs pair of cells per app
+// (interleaved pairwise).
+func whatIfCells(cfg Config, apps []App, nodesFor func(App) int, knobs Knobs) []CellSpec {
+	cells := make([]CellSpec, 0, 2*len(apps))
 	for _, a := range apps {
 		n := cfg.Nodes
 		if nodesFor != nil {
 			n = nodesFor(a)
 		}
-		v := DefaultVariant(a)
+		v := DefaultVariant(a).String()
 		cells = append(cells,
-			Spec{App: a, Nodes: n, Variant: v},
-			Spec{App: a, Nodes: n, Variant: v, Mutate: mutate})
+			CellSpec{App: a.String(), Nodes: n, Variant: v},
+			CellSpec{App: a.String(), Nodes: n, Variant: v, Knobs: knobs})
 	}
-	res := cfg.runCells(cells)
+	return cells
+}
+
+// whatIf runs a baseline and a knob-mutated configuration per app and
+// assembles the comparison rows.
+func whatIf(cfg Config, apps []App, nodesFor func(App) int, knobs Knobs, paper map[App]float64) []WhatIfRow {
+	res := cfg.runCells(whatIfCells(cfg, apps, nodesFor, knobs))
 	rows := make([]WhatIfRow, 0, len(apps))
 	for i, a := range apps {
 		base := res[2*i].Elapsed
@@ -308,8 +355,8 @@ func whatIf(cfg Config, apps []App, nodesFor func(App) int, mutate func(*machine
 	return rows
 }
 
-// Table2 measures the cost of requiring a kernel trap per message send.
-func Table2(cfg Config) []WhatIfRow {
+// table2Apps are the applications of the paper's Table 2.
+func table2Apps() []App {
 	var apps []App
 	for _, a := range AllApps() {
 		if a == DFSSockets {
@@ -317,8 +364,17 @@ func Table2(cfg Config) []WhatIfRow {
 		}
 		apps = append(apps, a)
 	}
-	return whatIf(cfg, apps, nil,
-		func(c *machine.Config) { c.SyscallPerSend = true }, paperSyscall)
+	return apps
+}
+
+// Table2Cells builds the syscall-per-send grid.
+func Table2Cells(cfg Config) []CellSpec {
+	return whatIfCells(cfg, table2Apps(), nil, Knobs{SyscallPerSend: bptr(true)})
+}
+
+// Table2 measures the cost of requiring a kernel trap per message send.
+func Table2(cfg Config) []WhatIfRow {
+	return whatIf(cfg, table2Apps(), nil, Knobs{SyscallPerSend: bptr(true)}, paperSyscall)
 }
 
 // ---- Table 3: notification usage ----------------------------------------
@@ -333,13 +389,19 @@ type Table3Row struct {
 	PaperMsgs     int64
 }
 
+// Table3Cells builds the notification-count grid.
+func Table3Cells(cfg Config) []CellSpec {
+	cells := make([]CellSpec, 0, len(AllApps()))
+	for _, a := range AllApps() {
+		cells = append(cells, CellSpec{App: a.String(), Nodes: cfg.Nodes,
+			Variant: DefaultVariant(a).String()})
+	}
+	return cells
+}
+
 // Table3 counts notifications and total messages at full machine size.
 func Table3(cfg Config) []Table3Row {
-	cells := make([]Spec, 0, len(AllApps()))
-	for _, a := range AllApps() {
-		cells = append(cells, Spec{App: a, Nodes: cfg.Nodes, Variant: DefaultVariant(a)})
-	}
-	res := cfg.runCells(cells)
+	res := cfg.runCells(Table3Cells(cfg))
 	rows := make([]Table3Row, 0, len(AllApps()))
 	for i, a := range AllApps() {
 		c := res[i].Counters
@@ -357,17 +419,26 @@ func Table3(cfg Config) []Table3Row {
 
 // ---- Table 4: interrupt per message -------------------------------------
 
+// table4Nodes caps Barnes-NX at 8 nodes, as in the paper.
+func table4Nodes(cfg Config) func(App) int {
+	return func(a App) int {
+		if a == BarnesNX && cfg.Nodes > 8 {
+			return 8
+		}
+		return cfg.Nodes
+	}
+}
+
+// Table4Cells builds the interrupt-per-message grid.
+func Table4Cells(cfg Config) []CellSpec {
+	return whatIfCells(cfg, AllApps(), table4Nodes(cfg), Knobs{InterruptPerMessage: bptr(true)})
+}
+
 // Table4 measures the cost of taking an interrupt on every arriving
 // message. Barnes-NX runs on 8 nodes, as in the paper.
 func Table4(cfg Config) []WhatIfRow {
-	return whatIf(cfg, AllApps(),
-		func(a App) int {
-			if a == BarnesNX && cfg.Nodes > 8 {
-				return 8
-			}
-			return cfg.Nodes
-		},
-		func(c *machine.Config) { c.NIC.InterruptPerMessage = true }, paperInterrupt)
+	return whatIf(cfg, AllApps(), table4Nodes(cfg),
+		Knobs{InterruptPerMessage: bptr(true)}, paperInterrupt)
 }
 
 // ---- §4.5.1: automatic-update combining ----------------------------------
@@ -381,19 +452,27 @@ type CombiningRow struct {
 	PaperNote string
 }
 
+// combiningApps are the §4.5.1 configurations, all forced onto AU.
+var combiningApps = []App{RadixVMMC, RadixSVM, OceanSVM, BarnesSVM, DFSSockets}
+
+// CombiningCells builds the combining-on/off grid.
+func CombiningCells(cfg Config) []CellSpec {
+	cells := make([]CellSpec, 0, 2*len(combiningApps))
+	for _, a := range combiningApps {
+		cells = append(cells,
+			CellSpec{App: a.String(), Nodes: cfg.Nodes, Variant: "AU",
+				Knobs: Knobs{Combining: bptr(true)}},
+			CellSpec{App: a.String(), Nodes: cfg.Nodes, Variant: "AU",
+				Knobs: Knobs{Combining: bptr(false)}})
+	}
+	return cells
+}
+
 // Combining evaluates AU combining: negligible for the sparse-writing
 // AU applications, about 2x for bulk transfers forced onto AU.
 func Combining(cfg Config) []CombiningRow {
-	apps := []App{RadixVMMC, RadixSVM, OceanSVM, BarnesSVM, DFSSockets}
-	cell := func(a App, combine bool) Spec {
-		return Spec{App: a, Nodes: cfg.Nodes, Variant: VariantAU,
-			Mutate: func(c *machine.Config) { c.NIC.Combining = combine }}
-	}
-	cells := make([]Spec, 0, 2*len(apps))
-	for _, a := range apps {
-		cells = append(cells, cell(a, true), cell(a, false))
-	}
-	res := cfg.runCells(cells)
+	apps := combiningApps
+	res := cfg.runCells(CombiningCells(cfg))
 	rows := make([]CombiningRow, 0, len(apps))
 	for i, a := range apps {
 		name := a.String() + " (AU)"
@@ -423,23 +502,31 @@ type FIFORow struct {
 	HighWater int // max occupancy observed with the large FIFO
 }
 
+// fifoApps are the §4.5.2 applications.
+var fifoApps = []App{RadixVMMC, RadixSVM, OceanSVM, DFSSockets}
+
+// FIFOCells builds the FIFO-capacity grid (32 KB vs 1 KB).
+func FIFOCells(cfg Config) []CellSpec {
+	small := Knobs{
+		OutFIFOBytes:       iptr(1024),
+		FIFOThresholdBytes: iptr(768),
+		FIFOLowWaterBytes:  iptr(256),
+	}
+	cells := make([]CellSpec, 0, 2*len(fifoApps))
+	for _, a := range fifoApps {
+		v := DefaultVariant(a).String()
+		cells = append(cells,
+			CellSpec{App: a.String(), Nodes: cfg.Nodes, Variant: v},
+			CellSpec{App: a.String(), Nodes: cfg.Nodes, Variant: v, Knobs: small})
+	}
+	return cells
+}
+
 // FIFO evaluates shrinking the outgoing FIFO from 32 KB to 1 KB; the
 // paper found no detectable difference.
 func FIFO(cfg Config) []FIFORow {
-	apps := []App{RadixVMMC, RadixSVM, OceanSVM, DFSSockets}
-	cells := make([]Spec, 0, 2*len(apps))
-	for _, a := range apps {
-		v := DefaultVariant(a)
-		cells = append(cells,
-			Spec{App: a, Nodes: cfg.Nodes, Variant: v},
-			Spec{App: a, Nodes: cfg.Nodes, Variant: v,
-				Mutate: func(c *machine.Config) {
-					c.NIC.OutFIFOBytes = 1024
-					c.NIC.FIFOThresholdBytes = 768
-					c.NIC.FIFOLowWaterBytes = 256
-				}})
-	}
-	res := cfg.runCells(cells)
+	apps := fifoApps
+	res := cfg.runCells(FIFOCells(cfg))
 	rows := make([]FIFORow, 0, len(apps))
 	for i, a := range apps {
 		large, small := res[2*i], res[2*i+1]
@@ -459,20 +546,27 @@ type DUQueueRow struct {
 	Percent float64 // improvement from the deeper queue
 }
 
+// DUQueueCells builds the DU request-queue grid: the deliberate-update
+// protocol (HLRC) at queue depth 1 and 2.
+func DUQueueCells(cfg Config) []CellSpec {
+	apps := []App{BarnesSVM, OceanSVM, RadixSVM}
+	proto := svm.HLRC.String()
+	cells := make([]CellSpec, 0, 2*len(apps))
+	for _, a := range apps {
+		cells = append(cells,
+			CellSpec{App: a.String(), Nodes: cfg.Nodes, Protocol: proto},
+			CellSpec{App: a.String(), Nodes: cfg.Nodes, Protocol: proto,
+				Knobs: Knobs{DUQueueDepth: iptr(2)}})
+	}
+	return cells
+}
+
 // DUQueue evaluates a 2-deep transfer-request queue against the shipped
 // depth of 1, using the SVM applications (small transfers), as the
 // paper did; the effect was within 1%.
 func DUQueue(cfg Config) []DUQueueRow {
 	apps := []App{BarnesSVM, OceanSVM, RadixSVM}
-	proto := svm.HLRC // deliberate-update-based protocol
-	cells := make([]Spec, 0, 2*len(apps))
-	for _, a := range apps {
-		cells = append(cells,
-			Spec{App: a, Nodes: cfg.Nodes, Protocol: &proto},
-			Spec{App: a, Nodes: cfg.Nodes, Protocol: &proto,
-				Mutate: func(c *machine.Config) { c.NIC.DUQueueDepth = 2 }})
-	}
-	res := cfg.runCells(cells)
+	res := cfg.runCells(DUQueueCells(cfg))
 	rows := make([]DUQueueRow, 0, len(apps))
 	for i, a := range apps {
 		d1, d2 := res[2*i].Elapsed, res[2*i+1].Elapsed
@@ -498,19 +592,24 @@ type PerPacketRow struct {
 	PktPct     float64
 }
 
+// InterruptPerPacketCells builds the per-message/per-packet grid.
+func InterruptPerPacketCells(cfg Config) []CellSpec {
+	cells := make([]CellSpec, 0, 3*len(AllApps()))
+	for _, a := range AllApps() {
+		v := DefaultVariant(a).String()
+		cells = append(cells,
+			CellSpec{App: a.String(), Nodes: cfg.Nodes, Variant: v},
+			CellSpec{App: a.String(), Nodes: cfg.Nodes, Variant: v,
+				Knobs: Knobs{InterruptPerMessage: bptr(true)}},
+			CellSpec{App: a.String(), Nodes: cfg.Nodes, Variant: v,
+				Knobs: Knobs{InterruptPerPacket: bptr(true)}})
+	}
+	return cells
+}
+
 // InterruptPerPacket measures both interrupt designs per application.
 func InterruptPerPacket(cfg Config) []PerPacketRow {
-	cells := make([]Spec, 0, 3*len(AllApps()))
-	for _, a := range AllApps() {
-		v := DefaultVariant(a)
-		cells = append(cells,
-			Spec{App: a, Nodes: cfg.Nodes, Variant: v},
-			Spec{App: a, Nodes: cfg.Nodes, Variant: v,
-				Mutate: func(c *machine.Config) { c.NIC.InterruptPerMessage = true }},
-			Spec{App: a, Nodes: cfg.Nodes, Variant: v,
-				Mutate: func(c *machine.Config) { c.NIC.InterruptPerPacket = true }})
-	}
-	res := cfg.runCells(cells)
+	res := cfg.runCells(InterruptPerPacketCells(cfg))
 	rows := make([]PerPacketRow, 0, len(AllApps()))
 	for i, a := range AllApps() {
 		base, msg, pkt := res[3*i].Elapsed, res[3*i+1].Elapsed, res[3*i+2].Elapsed

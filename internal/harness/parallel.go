@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -16,7 +17,24 @@ import (
 // workers <= 0 selects GOMAXPROCS. A single worker degenerates to the
 // plain serial loop (no goroutines), which doubles as the baseline for
 // the parallel-equals-serial determinism tests.
-func RunCells(cells []Spec, workers int, w *Workloads) []Result {
+//
+// Cancelling ctx stops the run at the next cell boundary: cells already
+// simulated keep their results, unstarted cells are left as zero values,
+// and the caller distinguishes the two via ctx.Err(). A nil ctx runs to
+// completion (shrimpsim and shrimpbench pass context.Background(), so
+// batch output is byte-identical to the pre-context harness).
+func RunCells(ctx context.Context, cells []Spec, workers int, w *Workloads) []Result {
+	return runCells(ctx, cells, workers, w, nil)
+}
+
+// runCells is the shared worker-pool body: RunCells plus an optional
+// per-cell completion callback. onDone is invoked once per finished cell
+// — concurrently, from pool goroutines, in completion order — so callers
+// that stream results must do their own locking and ordering.
+func runCells(ctx context.Context, cells []Spec, workers int, w *Workloads, onDone func(i int, r Result)) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]Result, len(cells))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -26,7 +44,13 @@ func RunCells(cells []Spec, workers int, w *Workloads) []Result {
 	}
 	if workers <= 1 {
 		for i := range cells {
+			if ctx.Err() != nil {
+				break
+			}
 			results[i] = Run(cells[i], w)
+			if onDone != nil {
+				onDone(i, results[i])
+			}
 		}
 		return results
 	}
@@ -38,11 +62,17 @@ func RunCells(cells []Spec, workers int, w *Workloads) []Result {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := next.Add(1)
 				if i >= int64(len(cells)) {
 					return
 				}
 				results[i] = Run(cells[i], w)
+				if onDone != nil {
+					onDone(int(i), results[i])
+				}
 			}
 		}()
 	}
@@ -50,24 +80,124 @@ func RunCells(cells []Spec, workers int, w *Workloads) []Result {
 	return results
 }
 
-// runCells runs cells under the sweep's configured worker count,
-// attaching trace recorders and draining them to the sink (in cell
-// order, so trace output is independent of the worker count).
-func (cfg *Config) runCells(cells []Spec) []Result {
-	if cfg.Trace != nil {
-		for i := range cells {
-			if cells[i].Trace == nil {
-				cells[i].Trace = cfg.Trace
-			}
-		}
+// CellCache is a content-addressed store of cell results, keyed by the
+// canonical cell encoding (CellSpec.Canonical). The simulator is
+// byte-deterministic, so a cell's Result is a pure function of its
+// canonical encoding; implementations (internal/resultcache) may hash
+// the key and keep entries anywhere. Get and Put must be safe for
+// concurrent use: the worker pool calls them from multiple goroutines.
+type CellCache interface {
+	Get(canonical []byte) (Result, bool)
+	Put(canonical []byte, r Result)
+}
+
+// CellRunOpts configures RunCellSpecs.
+type CellRunOpts struct {
+	// Workers is the simulation worker-pool width (0 = GOMAXPROCS).
+	Workers int
+	// Cache, when non-nil, is consulted before simulating each cell and
+	// populated after; hits skip the simulator entirely. Traced runs
+	// bypass the cache (a Result's recorder is not cacheable).
+	Cache CellCache
+	// OnDone is invoked once per completed cell (hit or simulated),
+	// concurrently and in completion order; see runCells.
+	OnDone func(i int, r Result)
+}
+
+// RunCellSpecs compiles serializable cell specs and executes them like
+// RunCells, consulting opts.Cache before simulating. It returns results
+// indexed like cells; an error is returned only for invalid specs
+// (unknown app, bad variant/protocol, non-positive nodes). Cancellation
+// behaves as in RunCells: partial results plus ctx.Err() at the caller.
+func RunCellSpecs(ctx context.Context, cells []CellSpec, w *Workloads, opts CellRunOpts) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	results := RunCells(cells, cfg.Workers, &cfg.Workloads)
-	if cfg.TraceSink != nil {
-		for i := range results {
-			if results[i].Trace != nil {
-				cfg.TraceSink(cells[i], results[i].Trace)
+	specs := make([]Spec, len(cells))
+	for i, c := range cells {
+		s, err := c.Compile()
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = s
+	}
+	if opts.Cache == nil {
+		return runCells(ctx, specs, opts.Workers, w, opts.OnDone), nil
+	}
+
+	results := make([]Result, len(cells))
+	keys := make([][]byte, len(cells))
+	missSpecs := make([]Spec, 0, len(cells))
+	missIdx := make([]int, 0, len(cells))
+	for i := range cells {
+		key, err := cells[i].Canonical(w)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = key
+		if r, ok := opts.Cache.Get(key); ok {
+			results[i] = r
+			if opts.OnDone != nil {
+				opts.OnDone(i, r)
+			}
+			continue
+		}
+		missSpecs = append(missSpecs, specs[i])
+		missIdx = append(missIdx, i)
+	}
+	runCells(ctx, missSpecs, opts.Workers, w, func(j int, r Result) {
+		i := missIdx[j]
+		results[i] = r
+		opts.Cache.Put(keys[i], r)
+		if opts.OnDone != nil {
+			opts.OnDone(i, r)
+		}
+	})
+	return results, nil
+}
+
+// context returns the sweep's cancellation context (Background when the
+// config does not carry one).
+func (cfg *Config) context() context.Context {
+	if cfg.Ctx != nil {
+		return cfg.Ctx
+	}
+	return context.Background()
+}
+
+// runCells runs a grid of serializable cell specs under the sweep's
+// configured worker count, cache and context, attaching trace recorders
+// and draining them to the sink (in cell order, so trace output is
+// independent of the worker count). Traced sweeps bypass the cache: a
+// cached Result carries no recorder, and the observability contract is
+// that every traced cell really ran.
+func (cfg *Config) runCells(cells []CellSpec) []Result {
+	if cfg.Trace != nil {
+		specs := make([]Spec, len(cells))
+		for i, c := range cells {
+			s, err := c.Compile()
+			if err != nil {
+				panic("harness: invalid experiment cell: " + err.Error())
+			}
+			s.Trace = cfg.Trace
+			specs[i] = s
+		}
+		results := runCells(cfg.context(), specs, cfg.Workers, &cfg.Workloads, nil)
+		if cfg.TraceSink != nil {
+			for i := range results {
+				if results[i].Trace != nil {
+					cfg.TraceSink(specs[i], results[i].Trace)
+				}
 			}
 		}
+		return results
+	}
+	results, err := RunCellSpecs(cfg.context(), cells, &cfg.Workloads, CellRunOpts{
+		Workers: cfg.Workers,
+		Cache:   cfg.Cache,
+	})
+	if err != nil {
+		panic("harness: invalid experiment cell: " + err.Error())
 	}
 	return results
 }

@@ -44,8 +44,8 @@ func TestRunCellsOrdering(t *testing.T) {
 	for i, app := range apps {
 		cells = append(cells, Spec{App: app, Nodes: 2 + 2*(i%2), Variant: DefaultVariant(app)})
 	}
-	want := RunCells(cells, 1, &wl)
-	got := RunCells(cells, 3, &wl)
+	want := RunCells(nil, cells, 1, &wl)
+	got := RunCells(nil, cells, 3, &wl)
 	for i := range cells {
 		if got[i].Elapsed != want[i].Elapsed || got[i].Counters != want[i].Counters {
 			t.Errorf("cell %d (%v on %d nodes): parallel result diverged", i, cells[i].App, cells[i].Nodes)
@@ -68,7 +68,7 @@ func BenchmarkParallelGrid(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(map[int]string{1: "serial", 2: "workers2", 4: "workers4"}[workers], func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				RunCells(cells, workers, &wl)
+				RunCells(nil, cells, workers, &wl)
 			}
 		})
 	}

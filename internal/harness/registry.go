@@ -1,0 +1,152 @@
+package harness
+
+import "io"
+
+// Experiment is one entry of the evaluation catalog: a named driver
+// that reproduces a table or figure of the paper. The registry is the
+// single source shared by shrimpbench (-exp selection, -exp list) and
+// shrimpd (GET /v1/experiments, named-experiment jobs), so a driver
+// added here is simultaneously a CLI experiment and a service job
+// type.
+type Experiment struct {
+	// Name is the CLI/API identifier ("table1", "figure3", ...).
+	Name string
+	// Desc is the one-line catalog description.
+	Desc string
+	// Cells returns the cell grid the experiment simulates, as
+	// serializable specs (nil for experiments not built from cells —
+	// the latency microbenchmark). Run executes exactly this grid, so
+	// Cells is also the experiment's cache footprint.
+	Cells func(cfg Config) []CellSpec
+	// Run executes the experiment and returns its typed row slice —
+	// the same value the matching harness driver returns, suitable for
+	// EmitJSON.
+	Run func(cfg Config) any
+	// Print renders the rows as the human-readable report table.
+	Print func(w io.Writer, cfg Config, rows any)
+}
+
+// experimentList is the catalog in report order.
+var experimentList = []Experiment{
+	{
+		Name: "latency",
+		Desc: "§4.1/§4.2 microbenchmarks: DU/AU message latency and send overhead",
+		Run:  func(cfg Config) any { return Latency() },
+		Print: func(w io.Writer, cfg Config, rows any) {
+			PrintLatency(w, rows.(LatencyResult))
+		},
+	},
+	{
+		Name:  "table1",
+		Desc:  "Table 1: applications, problem sizes, sequential execution times",
+		Cells: Table1Cells,
+		Run:   func(cfg Config) any { return Table1(cfg) },
+		Print: func(w io.Writer, cfg Config, rows any) {
+			PrintTable1(w, rows.([]Table1Row), &cfg.Workloads)
+		},
+	},
+	{
+		Name:  "figure3",
+		Desc:  "Figure 3: speedup curves, better of AU/DU per application",
+		Cells: Figure3Cells,
+		Run:   func(cfg Config) any { return Figure3(cfg) },
+		Print: func(w io.Writer, cfg Config, rows any) {
+			PrintFigure3(w, rows.([]Figure3Curve))
+		},
+	},
+	{
+		Name:  "figure4svm",
+		Desc:  "Figure 4 (left): HLRC vs HLRC-AU vs AURC protocol comparison",
+		Cells: Figure4SVMCells,
+		Run:   func(cfg Config) any { return Figure4SVM(cfg) },
+		Print: func(w io.Writer, cfg Config, rows any) {
+			PrintFigure4SVM(w, rows.([]Figure4SVMRow))
+		},
+	},
+	{
+		Name:  "figure4audu",
+		Desc:  "Figure 4 (right): automatic vs deliberate update per application",
+		Cells: Figure4AUDUCells,
+		Run:   func(cfg Config) any { return Figure4AUDU(cfg) },
+		Print: func(w io.Writer, cfg Config, rows any) {
+			PrintFigure4AUDU(w, rows.([]Figure4AUDURow))
+		},
+	},
+	{
+		Name:  "table2",
+		Desc:  "Table 2: cost of a kernel trap on every message send",
+		Cells: Table2Cells,
+		Run:   func(cfg Config) any { return Table2(cfg) },
+		Print: func(w io.Writer, cfg Config, rows any) {
+			PrintWhatIf(w, "Table 2: system call per message send", rows.([]WhatIfRow))
+		},
+	},
+	{
+		Name:  "table3",
+		Desc:  "Table 3: notification counts vs total messages",
+		Cells: Table3Cells,
+		Run:   func(cfg Config) any { return Table3(cfg) },
+		Print: func(w io.Writer, cfg Config, rows any) {
+			PrintTable3(w, rows.([]Table3Row))
+		},
+	},
+	{
+		Name:  "table4",
+		Desc:  "Table 4: cost of an interrupt on every arriving message",
+		Cells: Table4Cells,
+		Run:   func(cfg Config) any { return Table4(cfg) },
+		Print: func(w io.Writer, cfg Config, rows any) {
+			PrintWhatIf(w, "Table 4: interrupt per arriving message", rows.([]WhatIfRow))
+		},
+	},
+	{
+		Name:  "combining",
+		Desc:  "§4.5.1: automatic-update combining on vs off",
+		Cells: CombiningCells,
+		Run:   func(cfg Config) any { return Combining(cfg) },
+		Print: func(w io.Writer, cfg Config, rows any) {
+			PrintCombining(w, rows.([]CombiningRow))
+		},
+	},
+	{
+		Name:  "fifo",
+		Desc:  "§4.5.2: outgoing FIFO capacity, 32 KB vs 1 KB",
+		Cells: FIFOCells,
+		Run:   func(cfg Config) any { return FIFO(cfg) },
+		Print: func(w io.Writer, cfg Config, rows any) {
+			PrintFIFO(w, rows.([]FIFORow))
+		},
+	},
+	{
+		Name:  "duqueue",
+		Desc:  "§4.5.3: deliberate-update request queue, depth 1 vs 2",
+		Cells: DUQueueCells,
+		Run:   func(cfg Config) any { return DUQueue(cfg) },
+		Print: func(w io.Writer, cfg Config, rows any) {
+			PrintDUQueue(w, rows.([]DUQueueRow))
+		},
+	},
+	{
+		Name:  "perpacket",
+		Desc:  "Extension (§4.4): interrupt per packet vs per message",
+		Cells: InterruptPerPacketCells,
+		Run:   func(cfg Config) any { return InterruptPerPacket(cfg) },
+		Print: func(w io.Writer, cfg Config, rows any) {
+			PrintPerPacket(w, rows.([]PerPacketRow))
+		},
+	},
+}
+
+// Experiments returns the catalog in report order. The slice is shared;
+// callers must not mutate it.
+func Experiments() []Experiment { return experimentList }
+
+// FindExperiment looks an experiment up by name.
+func FindExperiment(name string) (Experiment, bool) {
+	for _, e := range experimentList {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

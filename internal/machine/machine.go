@@ -27,8 +27,10 @@ type Config struct {
 	// Trace, when non-nil, is attached to the engine before any device
 	// is constructed, so every layer caches it and emits trace events.
 	// Nil (the default) keeps every hot path on its zero-cost nil-check
-	// branch.
-	Trace *trace.Recorder
+	// branch. Excluded from JSON so the harness's canonical cell
+	// encoding (a pure-data description of a run) can marshal Config
+	// directly.
+	Trace *trace.Recorder `json:"-"`
 }
 
 // DefaultConfig returns an n-node SHRIMP system as built (AU enabled,

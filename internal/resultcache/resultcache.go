@@ -1,0 +1,208 @@
+// Package resultcache is a content-addressed store of simulation cell
+// results. The simulator is byte-deterministic, so a cell's Result is a
+// pure function of its canonical encoding (harness.CellSpec.Canonical):
+// the cache keys entries by the SHA-256 of that encoding and can hand
+// back a previously simulated Result with no risk of staleness — any
+// change to the machine configuration, workload parameters, or encoding
+// schema changes the key.
+//
+// Entries live in an in-memory LRU. When constructed with a spill
+// directory, entries evicted from memory are written to disk as JSON
+// (one file per key) and transparently promoted back on access, so a
+// daemon restarted with the same -cache-dir warms up from its previous
+// life. Every field of harness.Result is integer-valued, so the JSON
+// round-trip is exact.
+//
+// The cache implements harness.CellCache and is safe for concurrent
+// use by the simulation worker pool.
+package resultcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"shrimp/internal/harness"
+)
+
+// Stats counts cache traffic. Snapshot returns a consistent copy for
+// metrics export; the individual counters advance atomically.
+type Stats struct {
+	Hits     int64 // Get served from memory
+	DiskHits int64 // Get served from the spill directory
+	Misses   int64 // Get found nothing
+	Puts     int64 // entries stored
+	Spills   int64 // entries written to disk on eviction
+	Entries  int64 // entries currently in memory
+}
+
+type entry struct {
+	key string
+	res harness.Result
+}
+
+// Cache is a fixed-capacity LRU of cell results keyed by content hash.
+type Cache struct {
+	max int
+	dir string // "" = memory only
+
+	mu  sync.Mutex
+	ll  *list.List // front = most recent; values are *entry
+	idx map[string]*list.Element
+
+	hits, diskHits, misses, puts, spills atomic.Int64
+}
+
+// New returns a cache holding at most maxEntries results in memory
+// (maxEntries <= 0 selects a default of 4096). A non-empty dir enables
+// disk spill: the directory is created if needed, evicted entries are
+// written there, and lookups fall back to it before reporting a miss.
+func New(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries <= 0 {
+		maxEntries = 4096
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("resultcache: %w", err)
+		}
+	}
+	return &Cache{
+		max: maxEntries,
+		dir: dir,
+		ll:  list.New(),
+		idx: make(map[string]*list.Element),
+	}, nil
+}
+
+// Key returns the content address of a canonical cell encoding: the
+// lower-case hex SHA-256 digest.
+func Key(canonical []byte) string {
+	sum := sha256.Sum256(canonical)
+	return hex.EncodeToString(sum[:])
+}
+
+// Get looks up the result for a canonical cell encoding, consulting
+// memory first and then the spill directory. Disk hits are promoted
+// back into memory.
+func (c *Cache) Get(canonical []byte) (harness.Result, bool) {
+	key := Key(canonical)
+	c.mu.Lock()
+	if el, ok := c.idx[key]; ok {
+		c.ll.MoveToFront(el)
+		res := el.Value.(*entry).res
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return res, true
+	}
+	c.mu.Unlock()
+
+	if res, ok := c.loadSpill(key); ok {
+		c.mu.Lock()
+		c.insert(key, res)
+		c.mu.Unlock()
+		c.diskHits.Add(1)
+		return res, true
+	}
+	c.misses.Add(1)
+	return harness.Result{}, false
+}
+
+// Put stores the result for a canonical cell encoding, evicting the
+// least-recently-used entry (to disk, when spill is enabled) if the
+// cache is full.
+func (c *Cache) Put(canonical []byte, r harness.Result) {
+	key := Key(canonical)
+	c.mu.Lock()
+	c.insert(key, r)
+	c.mu.Unlock()
+	c.puts.Add(1)
+}
+
+// insert adds or refreshes an entry and evicts past capacity. Callers
+// hold c.mu; spill file writes happen under the lock, which keeps the
+// evict-then-reload race away at the price of briefly blocking other
+// cache traffic (spills are rare and small).
+func (c *Cache) insert(key string, r harness.Result) {
+	if el, ok := c.idx[key]; ok {
+		el.Value.(*entry).res = r
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[key] = c.ll.PushFront(&entry{key: key, res: r})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*entry)
+		c.ll.Remove(oldest)
+		delete(c.idx, e.key)
+		c.writeSpill(e.key, e.res)
+	}
+}
+
+// Len reports the number of entries currently held in memory.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Snapshot returns current traffic counters.
+func (c *Cache) Snapshot() Stats {
+	return Stats{
+		Hits:     c.hits.Load(),
+		DiskHits: c.diskHits.Load(),
+		Misses:   c.misses.Load(),
+		Puts:     c.puts.Load(),
+		Spills:   c.spills.Load(),
+		Entries:  int64(c.Len()),
+	}
+}
+
+// spillPath places each entry in its own file named by content hash.
+func (c *Cache) spillPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// writeSpill persists an evicted entry. Failures are deliberately
+// silent: the spill tier is an optimization, and a cache that cannot
+// write its directory degrades to memory-only behavior.
+func (c *Cache) writeSpill(key string, r harness.Result) {
+	if c.dir == "" {
+		return
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	// Write-then-rename so a concurrent reader never sees a torn file.
+	tmp := c.spillPath(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, c.spillPath(key)); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	c.spills.Add(1)
+}
+
+// loadSpill retrieves a previously spilled entry, if any.
+func (c *Cache) loadSpill(key string) (harness.Result, bool) {
+	if c.dir == "" {
+		return harness.Result{}, false
+	}
+	data, err := os.ReadFile(c.spillPath(key))
+	if err != nil {
+		return harness.Result{}, false
+	}
+	var r harness.Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return harness.Result{}, false
+	}
+	return r, true
+}

@@ -1,0 +1,215 @@
+package resultcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shrimp/internal/harness"
+	"shrimp/internal/sim"
+)
+
+func testResult(n int64) harness.Result {
+	var r harness.Result
+	r.Elapsed = sim.Time(1000 * n)
+	r.Counters.MessagesSent = n
+	r.Counters.BytesSent = 64 * n
+	r.Breakdown[0] = sim.Time(7 * n)
+	r.FIFOHigh = int(n)
+	return r
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("cell-%d", i)) }
+
+func TestHitMiss(t *testing.T) {
+	c, err := New(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	want := testResult(1)
+	c.Put(key(1), want)
+	got, ok := c.Get(key(1))
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got != want {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("hit for a key never stored")
+	}
+	s := c.Snapshot()
+	if s.Hits != 1 || s.Misses != 2 || s.Puts != 1 || s.Entries != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestLRUEviction fills a small cache past capacity and checks the
+// least-recently-used entry — not the least-recently-inserted — is the
+// one dropped.
+func TestLRUEviction(t *testing.T) {
+	c, err := New(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key(1), testResult(1))
+	c.Put(key(2), testResult(2))
+	if _, ok := c.Get(key(1)); !ok { // touch 1 so 2 becomes LRU
+		t.Fatal("entry 1 missing")
+	}
+	c.Put(key(3), testResult(3)) // evicts 2
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := c.Get(key(3)); !ok {
+		t.Fatal("new entry missing")
+	}
+	if n := c.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+}
+
+// TestDiskSpillRoundTrip checks an entry evicted to disk comes back
+// exactly, gets promoted into memory, and that a fresh Cache over the
+// same directory (a daemon restart) still finds it.
+func TestDiskSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testResult(1)
+	c.Put(key(1), want)
+	c.Put(key(2), testResult(2)) // evicts 1 to disk
+
+	spill := filepath.Join(dir, Key(key(1))+".json")
+	if _, err := os.Stat(spill); err != nil {
+		t.Fatalf("spill file missing: %v", err)
+	}
+
+	got, ok := c.Get(key(1))
+	if !ok {
+		t.Fatal("spilled entry not found")
+	}
+	if got != want {
+		t.Fatalf("round-trip mismatch: got %+v want %+v", got, want)
+	}
+	s := c.Snapshot()
+	if s.DiskHits != 1 || s.Spills == 0 {
+		t.Fatalf("stats %+v", s)
+	}
+
+	// A new cache over the same directory warms from the spill tier.
+	c2, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = c2.Get(key(1))
+	if !ok || got != want {
+		t.Fatalf("restart lookup: ok=%v got %+v want %+v", ok, got, want)
+	}
+}
+
+// TestCanonicalKeyDeterminism pins the content-addressing contract:
+// two semantically identical cell specs produce the same key, and any
+// semantic difference produces a different one. In particular, naming
+// an SVM app's default variant explicitly, or naming the protocol that
+// variant resolves to, must land on the same cache entry.
+func TestCanonicalKeyDeterminism(t *testing.T) {
+	wl := harness.QuickWorkloads()
+	canon := func(c harness.CellSpec) string {
+		b, err := c.Canonical(&wl)
+		if err != nil {
+			t.Fatalf("Canonical(%+v): %v", c, err)
+		}
+		return Key(b)
+	}
+
+	base := harness.CellSpec{App: "barnes-svm", Nodes: 16}
+	if canon(base) != canon(base) {
+		t.Fatal("identical specs hashed differently")
+	}
+	// barnes-svm defaults to AU, and AU resolves to the AURC protocol:
+	// all three spellings are one cell.
+	if canon(base) != canon(harness.CellSpec{App: "barnes-svm", Nodes: 16, Variant: "au"}) {
+		t.Fatal("explicit default variant changed the key")
+	}
+	if canon(base) != canon(harness.CellSpec{App: "barnes-svm", Nodes: 16, Protocol: "aurc"}) {
+		t.Fatal("explicit resolved protocol changed the key")
+	}
+
+	distinct := []harness.CellSpec{
+		base,
+		{App: "barnes-svm", Nodes: 8},
+		{App: "barnes-svm", Nodes: 16, Variant: "du"},
+		{App: "ocean-svm", Nodes: 16},
+		{App: "radix-vmmc", Nodes: 16},
+		{App: "barnes-svm", Nodes: 16, Knobs: harness.Knobs{SyscallPerSend: boolPtr(true)}},
+		{App: "barnes-svm", Nodes: 16, Knobs: harness.Knobs{DUQueueDepth: intPtr(2)}},
+	}
+	seen := map[string]int{}
+	for i, c := range distinct {
+		k := canon(c)
+		if j, dup := seen[k]; dup {
+			t.Fatalf("specs %d and %d collide: %+v vs %+v", j, i, distinct[j], c)
+		}
+		seen[k] = i
+	}
+
+	// Workload size is part of the cell identity: quick and full runs
+	// must never share a cache entry.
+	full := harness.DefaultWorkloads()
+	b, err := base.Canonical(&full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Key(b) == canon(base) {
+		t.Fatal("quick and full workloads share a key")
+	}
+}
+
+func boolPtr(b bool) *bool { return &b }
+func intPtr(i int) *int    { return &i }
+
+// TestCacheWithRunCellSpecs runs a tiny grid twice through the harness
+// with the cache attached and checks the second pass is served entirely
+// from memory with byte-identical results.
+func TestCacheWithRunCellSpecs(t *testing.T) {
+	wl := harness.QuickWorkloads()
+	cells := []harness.CellSpec{
+		{App: "radix-vmmc", Nodes: 2},
+		{App: "radix-vmmc", Nodes: 4},
+	}
+	c, err := New(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := harness.CellRunOpts{Workers: 2, Cache: c}
+	first, err := harness.RunCellSpecs(nil, cells, &wl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := harness.RunCellSpecs(nil, cells, &wl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("cell %d: cached result differs", i)
+		}
+	}
+	s := c.Snapshot()
+	if s.Hits != int64(len(cells)) {
+		t.Fatalf("expected %d hits, got %+v", len(cells), s)
+	}
+	if s.Puts != int64(len(cells)) {
+		t.Fatalf("expected %d puts (second pass must not re-simulate), got %+v", len(cells), s)
+	}
+}

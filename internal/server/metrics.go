@@ -1,0 +1,84 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shrimp/internal/trace"
+)
+
+// metrics holds the daemon's own counters plus service-time
+// histograms. The histograms reuse internal/trace's HDR buckets — the
+// same implementation that measures simulated latencies measures the
+// daemon's host-side job latencies, and trace.WritePromSummary renders
+// both for the scrape.
+type metrics struct {
+	jobsSubmitted atomic.Int64
+	jobsRejected  atomic.Int64
+	jobsStarted   atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+	cellsFinished atomic.Int64
+
+	histMu    sync.Mutex
+	queueWait trace.Hist // ns from submit to start
+	jobDur    trace.Hist // ns from start to done (successful jobs)
+}
+
+func (s *Server) observeQueueWait(d time.Duration) {
+	s.met.histMu.Lock()
+	s.met.queueWait.Record(d.Nanoseconds())
+	s.met.histMu.Unlock()
+}
+
+func (s *Server) observeJobDuration(d time.Duration) {
+	s.met.histMu.Lock()
+	s.met.jobDur.Record(d.Nanoseconds())
+	s.met.histMu.Unlock()
+}
+
+// handleMetrics renders Prometheus text exposition format. Counter
+// lines come from the daemon's atomics and the result cache; summary
+// lines go through the trace package's export hook.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	m := &s.met
+	counter("shrimpd_jobs_submitted_total", "jobs accepted into the queue", m.jobsSubmitted.Load())
+	counter("shrimpd_jobs_rejected_total", "jobs refused with 429 (queue full)", m.jobsRejected.Load())
+	counter("shrimpd_jobs_started_total", "jobs begun by a runner", m.jobsStarted.Load())
+	counter("shrimpd_jobs_done_total", "jobs finished successfully", m.jobsDone.Load())
+	counter("shrimpd_jobs_failed_total", "jobs finished in error", m.jobsFailed.Load())
+	counter("shrimpd_jobs_canceled_total", "jobs canceled before finishing", m.jobsCanceled.Load())
+	counter("shrimpd_cells_finished_total", "simulation cells completed (cache hits included)", m.cellsFinished.Load())
+	gauge("shrimpd_queue_depth", "jobs waiting to run", int64(len(s.queue)))
+
+	if c := s.cfg.Cache; c != nil {
+		st := c.Snapshot()
+		counter("shrimpd_cache_hits_total", "cells served from the in-memory result cache", st.Hits)
+		counter("shrimpd_cache_disk_hits_total", "cells served from the spill directory", st.DiskHits)
+		counter("shrimpd_cache_misses_total", "cells that had to simulate", st.Misses)
+		counter("shrimpd_cache_puts_total", "results stored in the cache", st.Puts)
+		counter("shrimpd_cache_spills_total", "results evicted to disk", st.Spills)
+		gauge("shrimpd_cache_entries", "results held in memory", st.Entries)
+	}
+
+	m.histMu.Lock()
+	qw, jd := m.queueWait, m.jobDur
+	m.histMu.Unlock()
+	fmt.Fprintf(w, "# HELP shrimpd_job_queue_wait_ns time jobs spent queued\n# TYPE shrimpd_job_queue_wait_ns summary\n")
+	trace.WritePromSummary(w, "shrimpd_job_queue_wait_ns", "", &qw)
+	fmt.Fprintf(w, "# HELP shrimpd_job_duration_ns wall time of successful jobs\n# TYPE shrimpd_job_duration_ns summary\n")
+	trace.WritePromSummary(w, "shrimpd_job_duration_ns", "", &jd)
+}

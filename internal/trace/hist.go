@@ -67,6 +67,11 @@ func (h *Hist) Record(v int64) {
 // Count reports the number of recorded samples.
 func (h *Hist) Count() int64 { return h.total }
 
+// Sum reports the total of all recorded samples. Together with Count
+// it gives exact means to metrics exporters (Prometheus summaries
+// carry _sum and _count; quantiles are the approximate part).
+func (h *Hist) Sum() int64 { return h.sum }
+
 // Max reports the largest recorded sample (0 when empty).
 func (h *Hist) Max() int64 { return h.max }
 

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// promQuantiles are the quantiles exported for every histogram. They
+// match the columns of WriteSummary so the scrape and the text report
+// describe the same distribution.
+var promQuantiles = [...]float64{0.50, 0.90, 0.99}
+
+// WritePromSummary renders a histogram as a Prometheus summary metric
+// in text exposition format: one {name}{quantile="q",labels} sample
+// per exported quantile plus {name}_sum and {name}_count. labels is a
+// pre-rendered label list without braces (`class="mesh"`), or "" for
+// none. Histograms record int64 samples (nanoseconds in this repo);
+// values are exported as-is, so the metric name should carry the unit.
+//
+// This is the export hook the shrimpd /metrics endpoint uses to
+// publish both simulation latency classes (from Recorders) and its own
+// host-side service-time measurements, reusing the same deterministic
+// histogram implementation for both.
+func WritePromSummary(w io.Writer, name, labels string, h *Hist) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for _, q := range promQuantiles {
+		fmt.Fprintf(w, "%s{%squantile=\"%g\"} %d\n", name, labels+sep, q, h.Quantile(q))
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %d\n", name, labels, h.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+}
