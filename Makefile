@@ -3,7 +3,7 @@
 
 GOBIN := $(CURDIR)/bin
 
-.PHONY: all lint test bench-smoke determinism serve-smoke clean
+.PHONY: all lint test bench-smoke determinism golden serve-smoke clean
 
 all: lint test
 
@@ -30,6 +30,13 @@ determinism:
 	$(GOBIN)/shrimpbench -exp table1,figure3 -quick -parallel 4 > $(GOBIN)/parallel.txt
 	diff $(GOBIN)/serial.txt $(GOBIN)/parallel.txt
 	@echo "determinism: byte-identical across -parallel 1 and -parallel 4"
+
+# golden hashes the full `shrimpbench -exp all -quick` output (text and
+# JSON, -parallel 1 and 4) against scripts/golden.sha256: any change to
+# the simulation's observable behavior must come with a deliberate
+# `scripts/golden_check.sh -update`.
+golden:
+	BIN=$(GOBIN) bash scripts/golden_check.sh
 
 # serve-smoke boots shrimpd and checks the HTTP API end to end: health,
 # NDJSON results byte-identical to shrimpbench -json, cache hits on a

@@ -100,6 +100,35 @@ func (r *ring) justified() {
 	r.buf = make([]int, 0, 64)
 }
 
+// Continuation-engine constructs (sim.Seq / Queue.PopFn /
+// Resource.AcquireFn): arming a wait inside a hotpath function must
+// hand over a continuation that was materialized at construction time
+// — a closure literal built at the arming site allocates on every
+// re-arm, which is exactly the steady-state path the discipline
+// protects.
+
+type contQueue struct{ waitFn func() }
+
+func (q *contQueue) popFn(fn func()) { q.waitFn = fn }
+
+type contDev struct {
+	q *contQueue
+	// recvFn is the pre-built continuation, bound once off the hot path.
+	recvFn func()
+}
+
+//shrimp:hotpath
+func (d *contDev) badRearm() {
+	d.q.popFn(func() { d.badRearm() }) // want `closure literal in hotpath function`
+}
+
+// okRearm hands over the pre-built continuation: no per-arm allocation.
+//
+//shrimp:hotpath
+func (d *contDev) okRearm() {
+	d.q.popFn(d.recvFn)
+}
+
 // unmarked may allocate freely: the directive, not the package,
 // selects functions for enforcement.
 func unmarked(v int) string {

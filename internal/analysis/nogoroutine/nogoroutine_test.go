@@ -12,5 +12,7 @@ func TestNogoroutine(t *testing.T) {
 		"shrimp/internal/svm",
 		"shrimp/internal/sim",
 		"shrimp/internal/server",
+		"shrimp/internal/nic",
+		"shrimp/internal/machine",
 	)
 }

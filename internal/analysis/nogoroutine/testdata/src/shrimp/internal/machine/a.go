@@ -1,0 +1,10 @@
+// Package machine is a Spawn-confinement fixture: the app layer keeps
+// the blocking process style, so Engine.Spawn is legal here.
+package machine
+
+import "shrimp/internal/sim"
+
+func boot(e *sim.Engine) {
+	e.Spawn("app", func(p *sim.Proc) {})
+	e.SpawnAt(10, "late", func(p *sim.Proc) {})
+}

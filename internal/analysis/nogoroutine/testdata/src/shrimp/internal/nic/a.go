@@ -1,0 +1,26 @@
+// Package nic is a Spawn-confinement fixture: a device-side package
+// whose engines must be continuation state machines, not processes.
+package nic
+
+import "shrimp/internal/sim"
+
+type dev struct{ e *sim.Engine }
+
+func (d *dev) start() {
+	d.e.Spawn("rx", func(p *sim.Proc) {})      // want `sim\.Engine\.Spawn outside the process allowlist`
+	d.e.SpawnAt(0, "du", func(p *sim.Proc) {}) // want `sim\.Engine\.SpawnAt outside the process allowlist`
+}
+
+// Taking a method value is the same leak as calling it.
+func (d *dev) spawner() func(string, func(*sim.Proc)) *sim.Proc {
+	return d.e.Spawn // want `sim\.Engine\.Spawn outside the process allowlist`
+}
+
+// A local method that happens to be named Spawn is not the engine's.
+type pool struct{}
+
+func (pool) Spawn() {}
+
+func legal(p pool) {
+	p.Spawn()
+}

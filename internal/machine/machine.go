@@ -131,9 +131,10 @@ func New(cfg Config) *Machine {
 	return m
 }
 
-// Close terminates all device-engine goroutines and recycles each
-// node's page memory into the shared arena pool. The machine is
-// unusable afterwards.
+// Close terminates any unfinished app processes and recycles each
+// node's page memory into the shared arena pool. Device engines are
+// continuation state machines with no goroutines to unwind; they simply
+// stop receiving events. The machine is unusable afterwards.
 func (m *Machine) Close() {
 	m.E.Shutdown()
 	for _, nd := range m.Nodes {

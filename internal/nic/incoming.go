@@ -2,94 +2,162 @@ package nic
 
 import (
 	"shrimp/internal/memory"
+	"shrimp/internal/mesh"
 	"shrimp/internal/sim"
 	"shrimp/internal/trace"
 )
 
-// rxEngine is the incoming DMA engine: it accepts packets off the
-// backplane, validates them against the Incoming Page Table, writes the
-// payload to host memory over the memory bus, and raises interrupts per
-// the notification rules of §2.2/§4.4.
+// The incoming DMA engine accepts packets off the backplane, validates
+// them against the Incoming Page Table, writes the payload to host
+// memory over the memory bus, and raises interrupts per the
+// notification rules of §2.2/§4.4.
 //
-// The mesh-level carrier is released back to the network pool as soon as
-// the NIC payload is unwrapped; the NIC packet itself is released to its
-// owning NIC's freelist once every delivery hook has run. Hooks that
-// need the packet beyond that instant must Clone it.
+// It is a continuation state machine (sim.Seq), not a process: each
+// packet walks the steps below as inline fn events, with the engine
+// parked on rxQueue between packets. The step order and every
+// scheduling call reproduce the former blocking service loop exactly,
+// so simulation output is unchanged; only the goroutine handoffs are
+// gone.
+//
+// The mesh-level carrier is released back to the network pool as soon
+// as the NIC payload is unwrapped; the NIC packet itself is released to
+// its owning NIC's freelist once every delivery hook has run. Hooks
+// that need the packet beyond that instant must Clone it.
+const (
+	rxPort     = iota // acquire the NIC port
+	rxSetup           // receive-setup latency
+	rxClassify        // IPT check: drop, start host DMA, or skip it
+	rxDMA             // memory-bus transfer time (bus held)
+	rxLand            // payload lands; release bus and port; §4.4 stalls
+	rxDeliver         // notification rule, delivery hooks, recycle
+	rxNext            // pump rxQueue: next packet inline, or park
+)
+
+// rxBegin is the rxQueue delivery callback: it unwraps the mesh carrier
+// and starts the receive pipeline for one NIC packet.
+//
 //shrimp:hotpath
-func (n *NIC) rxEngine(p *sim.Proc) {
-	for {
-		mp := n.rxQueue.Pop(p)
-		pkt := mp.Payload.(*Packet)
-		n.net.Release(mp)
+func (n *NIC) rxBegin(mp *mesh.Packet) {
+	n.rxCur = mp.Payload.(*Packet)
+	n.net.Release(mp)
+	n.rxSeq.Start(rxPort)
+}
 
-		// The NIC port is busy while a packet is being received, which
-		// blocks outgoing-FIFO draining (incoming has priority in the
-		// hardware; here they serialize through the same port).
-		n.nicPort.Acquire(p)
-		p.Sleep(n.cfg.RxSetup)
+// rxStepPort: the NIC port is busy while a packet is being received,
+// which blocks outgoing-FIFO draining (incoming has priority in the
+// hardware; here they serialize through the same port).
+//
+//shrimp:hotpath
+func (n *NIC) rxStepPort() sim.Ctl { return n.rxSeq.Acquire(n.nicPort) }
 
-		if _, ok := n.incoming(pkt.DstPage); !ok {
-			// Page not exported: hardware drops the packet and counts
-			// the error.
-			n.dropped++
-			n.nicPort.Release()
-			releasePacket(pkt)
-			continue
-		}
+//shrimp:hotpath
+func (n *NIC) rxStepSetup() sim.Ctl { return n.rxSeq.Sleep(n.cfg.RxSetup) }
 
-		// DMA the payload into host memory; the memory bus cannot
-		// cycle-share, so this arbitrates with the CPU and the DU engine.
-		if len(pkt.Data) > 0 {
-			addr := memory.Addr(pkt.DstPage*memory.PageSize + pkt.DstOffset)
-			n.bus.Acquire(p)
-			p.Sleep(n.eisaTime(len(pkt.Data)))
-			n.mem.DMAWrite(addr, pkt.Data)
-			n.bus.Release()
-		}
+// rxStepClassify validates the packet against the IPT and routes it:
+// invalid pages are dropped in hardware, payloads arbitrate for the
+// memory bus (which cannot cycle-share, so this contends with the CPU
+// and the DU engine), and empty packets skip the bus entirely.
+//
+//shrimp:hotpath
+func (n *NIC) rxStepClassify() sim.Ctl {
+	pkt := n.rxCur
+	if _, ok := n.incoming(pkt.DstPage); !ok {
+		// Page not exported: hardware drops the packet and counts the
+		// error.
+		n.dropped++
 		n.nicPort.Release()
-
-		if n.tr != nil && pkt.sent != 0 {
-			// End-to-end latency: emission (snoop or DMA-engine start) to
-			// payload landed in receiver host memory.
-			class := trace.LatAU
-			if pkt.Kind == DU {
-				class = trace.LatDU
-			}
-			n.tr.Latency(class, int64(n.e.Now()-(pkt.sent-1)))
-		}
-
-		// AU packets with the sender's interrupt-request bit mark
-		// message boundaries on automatic-update streams.
-		auBoundary := pkt.Kind == AU && pkt.Interrupt
-		if pkt.EndOfMsg {
-			n.acct.Counters.MessagesRecv++
-			if n.tr != nil {
-				n.tr.Record(int64(n.e.Now()), trace.KMsgRecv, int32(n.id), int64(pkt.Src), 0)
-			}
-		}
-		// §4.4 what-ifs: a null kernel handler runs before the
-		// application can observe the data, delaying delivery and
-		// occupying the CPU — per message boundary, or per packet in
-		// the even costlier traditional design.
-		if n.cfg.InterruptPerPacket ||
-			(n.cfg.InterruptPerMessage && (pkt.EndOfMsg || auBoundary)) {
-			if n.RaiseInterrupt != nil {
-				n.RaiseInterrupt(IntPerMessage, pkt)
-			}
-			p.Sleep(n.cfg.InterruptStall)
-		}
-		// Notification rule: sender's interrupt-request bit AND the
-		// receiver's per-page interrupt-enable bit. The entry is looked
-		// up afresh here because the table may have been grown or its
-		// interrupt-enable bit toggled while the DMA slept above.
-		if pkt.Interrupt && n.RaiseInterrupt != nil {
-			if ipt, ok := n.incoming(pkt.DstPage); ok && ipt.InterruptEnable {
-				n.RaiseInterrupt(IntNotification, pkt)
-			}
-		}
-		if n.OnDeliver != nil {
-			n.OnDeliver(pkt)
-		}
 		releasePacket(pkt)
+		n.rxCur = nil
+		return n.rxSeq.Goto(rxNext)
 	}
+	if len(pkt.Data) > 0 {
+		return n.rxSeq.Acquire(n.bus) // continue at rxDMA holding the bus
+	}
+	return n.rxSeq.Goto(rxLand)
+}
+
+//shrimp:hotpath
+func (n *NIC) rxStepDMA() sim.Ctl { return n.rxSeq.Sleep(n.eisaTime(len(n.rxCur.Data))) }
+
+// rxStepLand writes the payload to host memory, frees the buses, and
+// applies the §4.4 what-if interrupt stalls: a null kernel handler runs
+// before the application can observe the data, delaying delivery and
+// occupying the CPU — per message boundary, or per packet in the even
+// costlier traditional design.
+//
+//shrimp:hotpath
+func (n *NIC) rxStepLand() sim.Ctl {
+	pkt := n.rxCur
+	if len(pkt.Data) > 0 {
+		addr := memory.Addr(pkt.DstPage*memory.PageSize + pkt.DstOffset)
+		n.mem.DMAWrite(addr, pkt.Data)
+		n.bus.Release()
+	}
+	n.nicPort.Release()
+
+	if n.tr != nil && pkt.sent != 0 {
+		// End-to-end latency: emission (snoop or DMA-engine start) to
+		// payload landed in receiver host memory.
+		class := trace.LatAU
+		if pkt.Kind == DU {
+			class = trace.LatDU
+		}
+		n.tr.Latency(class, int64(n.e.Now()-(pkt.sent-1)))
+	}
+
+	// AU packets with the sender's interrupt-request bit mark message
+	// boundaries on automatic-update streams.
+	auBoundary := pkt.Kind == AU && pkt.Interrupt
+	if pkt.EndOfMsg {
+		n.acct.Counters.MessagesRecv++
+		if n.tr != nil {
+			n.tr.Record(int64(n.e.Now()), trace.KMsgRecv, int32(n.id), int64(pkt.Src), 0)
+		}
+	}
+	if n.cfg.InterruptPerPacket ||
+		(n.cfg.InterruptPerMessage && (pkt.EndOfMsg || auBoundary)) {
+		if n.RaiseInterrupt != nil {
+			n.RaiseInterrupt(IntPerMessage, pkt)
+		}
+		return n.rxSeq.Sleep(n.cfg.InterruptStall)
+	}
+	return n.rxSeq.Next()
+}
+
+// rxStepDeliver applies the notification rule — sender's
+// interrupt-request bit AND the receiver's per-page interrupt-enable
+// bit — runs the delivery hooks, and recycles the packet. The IPT entry
+// is looked up afresh here because the table may have been grown or its
+// interrupt-enable bit toggled while the DMA waited above.
+//
+//shrimp:hotpath
+func (n *NIC) rxStepDeliver() sim.Ctl {
+	pkt := n.rxCur
+	if pkt.Interrupt && n.RaiseInterrupt != nil {
+		if ipt, ok := n.incoming(pkt.DstPage); ok && ipt.InterruptEnable {
+			n.RaiseInterrupt(IntNotification, pkt)
+		}
+	}
+	if n.OnDeliver != nil {
+		n.OnDeliver(pkt)
+	}
+	releasePacket(pkt)
+	n.rxCur = nil
+	return n.rxSeq.Next()
+}
+
+// rxStepNext pumps the receive queue: a queued packet continues the
+// pipeline inline at the same instant (exactly as the blocking loop's
+// non-empty Pop did), an empty queue parks the engine on a one-shot
+// delivery callback.
+//
+//shrimp:hotpath
+func (n *NIC) rxStepNext() sim.Ctl {
+	if mp, ok := n.rxQueue.TryPop(); ok {
+		n.rxCur = mp.Payload.(*Packet)
+		n.net.Release(mp)
+		return n.rxSeq.Goto(rxPort)
+	}
+	n.rxQueue.PopFn(n.rxRecvFn)
+	return sim.Wait
 }

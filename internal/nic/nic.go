@@ -1,8 +1,6 @@
 package nic
 
 import (
-	"fmt"
-
 	"shrimp/internal/memory"
 	"shrimp/internal/mesh"
 	"shrimp/internal/sim"
@@ -199,6 +197,30 @@ type NIC struct {
 	rxQueue *sim.Queue[*mesh.Packet]
 	dropped int64
 
+	// Continuation engines. The three device engines are event-driven
+	// state machines (sim.Seq), not processes: their steps execute as
+	// inline fn events in whatever goroutine owns the engine, so a
+	// simulated packet costs zero goroutine handoffs. Built by Start.
+	rxSeq  *sim.Seq
+	duSeq  *sim.Seq
+	outSeq *sim.Seq
+
+	// In-flight engine state, the explicit continuation counterpart of
+	// what used to live in each service loop's stack frame.
+	rxCur   *Packet     // packet the receive engine is landing
+	duReq   *duRequest  // request the DU engine is executing
+	duPkt   *Packet     // packet the DU engine is building/injecting
+	duDst   mesh.NodeID // destination of the in-flight DU packet
+	duStart sim.Time    // traced only: DU start timestamp for pkt.sent
+	outPkt  *Packet     // packet the outgoing-FIFO drain is injecting
+	outDst  mesh.NodeID // its destination
+
+	// Pre-built queue-delivery callbacks (bound method values,
+	// materialized once in Start so re-arming allocates nothing).
+	rxRecvFn  func(*mesh.Packet)
+	duRecvFn  func(*duRequest)
+	outRecvFn func(fifoEntry)
+
 	// tr is the attached trace recorder (nil when tracing is off),
 	// cached from the engine at construction.
 	tr *trace.Recorder
@@ -253,17 +275,34 @@ func (n *NIC) FIFOHighWater() int { return n.fifoHigh }
 // Dropped reports packets dropped for invalid IPT entries.
 func (n *NIC) Dropped() int64 { return n.dropped }
 
-// Start spawns the NIC's engines: the deliberate-update DMA engine, the
-// outgoing-FIFO drain, and the incoming DMA engine. They run for the
-// lifetime of the simulation.
+// Start builds the NIC's engines — the deliberate-update DMA engine,
+// the outgoing-FIFO drain, and the incoming DMA engine — as
+// continuation state machines and parks each on its input queue. No
+// processes are spawned: every engine step runs as an inline fn event,
+// scheduled at exactly the (t, seq) calendar positions the former
+// goroutine service loops occupied, so simulation output is unchanged
+// while the per-packet goroutine handoffs disappear. The engines serve
+// for the lifetime of the simulation.
 func (n *NIC) Start() {
-	n.e.Spawn(fmt.Sprintf("nic%d.du", n.id), n.duEngine)
-	n.e.Spawn(fmt.Sprintf("nic%d.out", n.id), n.outEngine)
-	n.e.Spawn(fmt.Sprintf("nic%d.rx", n.id), n.rxEngine)
+	n.duSeq = sim.NewSeq(n.e,
+		n.duStepSetup, n.duStepRead, n.duStepXfer,
+		n.duStepInject, n.duStepLink, n.duStepSend, n.duStepNext)
+	n.outSeq = sim.NewSeq(n.e,
+		n.outStepPort, n.outStepLink, n.outStepSend, n.outStepNext)
+	n.rxSeq = sim.NewSeq(n.e,
+		n.rxStepPort, n.rxStepSetup, n.rxStepClassify,
+		n.rxStepDMA, n.rxStepLand, n.rxStepDeliver, n.rxStepNext)
+	n.duRecvFn = n.duBegin
+	n.outRecvFn = n.outBegin
+	n.rxRecvFn = n.rxBegin
+	n.duQueue.PopFn(n.duRecvFn)
+	n.fifo.PopFn(n.outRecvFn)
+	n.rxQueue.PopFn(n.rxRecvFn)
 }
 
 // allocPacket takes a packet from the freelist or builds a fresh one
 // with its FIFO thunk bound.
+//
 //shrimp:hotpath
 func (n *NIC) allocPacket() *Packet {
 	if k := len(n.pktFree); k > 0 {
@@ -281,6 +320,7 @@ func (n *NIC) allocPacket() *Packet {
 
 // releasePacket returns a consumed packet to its owning NIC's freelist.
 // Literal packets (no owner) and pooling-disabled NICs drop it instead.
+//
 //shrimp:hotpath
 func releasePacket(pkt *Packet) {
 	o := pkt.owner
@@ -291,6 +331,7 @@ func releasePacket(pkt *Packet) {
 }
 
 // allocDU takes a transfer request from the freelist.
+//
 //shrimp:hotpath
 func (n *NIC) allocDU() *duRequest {
 	if k := len(n.duFree); k > 0 {
@@ -304,6 +345,7 @@ func (n *NIC) allocDU() *duRequest {
 }
 
 // releaseDU recycles a completed transfer request.
+//
 //shrimp:hotpath
 func (n *NIC) releaseDU(r *duRequest) {
 	if n.cfg.NoPool {
@@ -344,6 +386,7 @@ func (n *NIC) UnmapOutgoing(vpn int) {
 // Outgoing looks up the OPT entry for vpn. The returned pointer is into
 // the table and is invalidated by the next MapOutgoing; callers use it
 // immediately and do not hold it across mapping changes.
+//
 //shrimp:hotpath
 func (n *NIC) Outgoing(vpn int) (*OPTEntry, bool) {
 	if vpn < 0 || vpn >= len(n.opt) || !n.opt[vpn].Valid {
@@ -380,6 +423,7 @@ func (n *NIC) ClearIncoming(vpn int) {
 }
 
 // incoming looks up the IPT entry for a receiver physical page.
+//
 //shrimp:hotpath
 func (n *NIC) incoming(vpn int) (*IPTEntry, bool) {
 	if vpn < 0 || vpn >= len(n.ipt) || !n.ipt[vpn].Valid {

@@ -19,6 +19,7 @@ import (
 // (depth Config.DUQueueDepth); it returns as soon as the request is
 // accepted, making sends asynchronous. The caller is responsible for
 // charging the CPU-side initiation overhead.
+//
 //shrimp:hotpath
 func (n *NIC) SendDU(p *sim.Proc, src, proxy memory.Addr, size int, interrupt, endOfMsg bool) {
 	if size <= 0 || size > n.cfg.MaxTransfer {
@@ -68,45 +69,111 @@ func (n *NIC) WaitDUIdle(p *sim.Proc) {
 	}
 }
 
-// duEngine is the deliberate-update DMA engine: it pops transfer
-// requests, arbitrates for the memory bus (which cannot cycle-share with
-// the CPU), reads the payload over the EISA bus, and injects a packet.
+// The deliberate-update DMA engine pops transfer requests, arbitrates
+// for the memory bus (which cannot cycle-share with the CPU), reads the
+// payload over the EISA bus, and injects a packet.
+//
+// Like the receive engine it is a continuation state machine: the steps
+// below execute as inline fn events with the engine parked on duQueue
+// between requests, scheduling each delay and bus wait at exactly the
+// calendar position the former blocking loop produced.
+const (
+	duSetup  = iota // traced start marker + DMA setup latency
+	duRead          // build the packet, arbitrate for the memory bus
+	duXfer          // EISA transfer time (bus held)
+	duInject        // payload read; free slot; arbitrate for NIC port
+	duLink          // link serialization time (port held)
+	duSend          // hand the packet to the mesh, release the port
+	duNext          // pump duQueue: next request inline, or park
+)
+
+// duBegin is the duQueue delivery callback: it accepts one transfer
+// request and starts the DMA pipeline.
+//
 //shrimp:hotpath
-func (n *NIC) duEngine(p *sim.Proc) {
-	for {
-		req := n.duQueue.Pop(p)
-		var start sim.Time
-		if n.tr != nil {
-			start = n.e.Now()
-			n.tr.Record(int64(start), trace.KDUStart, int32(n.id), int64(req.size), int64(req.dstNode))
-		}
-		p.Sleep(n.cfg.DMASetup)
-		pkt := n.allocPacket()
-		pkt.Kind = DU
-		pkt.Src = n.id
-		pkt.DstPage = req.dstPage
-		pkt.DstOffset = req.dstOffset
-		pkt.Interrupt = req.interrupt
-		pkt.EndOfMsg = req.endOfMsg
-		pkt.Data = grow(pkt.Data, req.size)
-		n.bus.Acquire(p)
-		p.Sleep(n.eisaTime(req.size))
-		n.mem.DMARead(req.src, pkt.Data)
-		n.bus.Release()
-		// The request slot frees once the data has left host memory.
-		n.duSlots--
-		n.duCond.Broadcast()
-		dst := req.dstNode
-		n.releaseDU(req)
-		if n.tr != nil {
-			pkt.sent = start + 1
-			n.tr.Record(int64(n.e.Now()), trace.KDUQueue, int32(n.id), int64(n.duSlots), 0)
-		}
-		n.inject(p, pkt, dst)
-		if n.tr != nil {
-			n.tr.Record(int64(n.e.Now()), trace.KDUEnd, int32(n.id), int64(pkt.DstPage), int64(dst))
-		}
+func (n *NIC) duBegin(req *duRequest) {
+	n.duReq = req
+	n.duSeq.Start(duSetup)
+}
+
+//shrimp:hotpath
+func (n *NIC) duStepSetup() sim.Ctl {
+	if n.tr != nil {
+		n.duStart = n.e.Now()
+		n.tr.Record(int64(n.duStart), trace.KDUStart, int32(n.id), int64(n.duReq.size), int64(n.duReq.dstNode))
 	}
+	return n.duSeq.Sleep(n.cfg.DMASetup)
+}
+
+//shrimp:hotpath
+func (n *NIC) duStepRead() sim.Ctl {
+	req := n.duReq
+	pkt := n.allocPacket()
+	pkt.Kind = DU
+	pkt.Src = n.id
+	pkt.DstPage = req.dstPage
+	pkt.DstOffset = req.dstOffset
+	pkt.Interrupt = req.interrupt
+	pkt.EndOfMsg = req.endOfMsg
+	pkt.Data = grow(pkt.Data, req.size)
+	n.duPkt = pkt
+	return n.duSeq.Acquire(n.bus) // continue at duXfer holding the bus
+}
+
+//shrimp:hotpath
+func (n *NIC) duStepXfer() sim.Ctl { return n.duSeq.Sleep(n.eisaTime(n.duReq.size)) }
+
+// duStepInject completes the host-memory read and starts injection. The
+// request slot frees once the data has left host memory.
+//
+//shrimp:hotpath
+func (n *NIC) duStepInject() sim.Ctl {
+	req := n.duReq
+	pkt := n.duPkt
+	n.mem.DMARead(req.src, pkt.Data)
+	n.bus.Release()
+	n.duSlots--
+	n.duCond.Broadcast()
+	n.duDst = req.dstNode
+	n.releaseDU(req)
+	n.duReq = nil
+	if n.tr != nil {
+		pkt.sent = n.duStart + 1
+		n.tr.Record(int64(n.e.Now()), trace.KDUQueue, int32(n.id), int64(n.duSlots), 0)
+	}
+	return n.duSeq.Acquire(n.nicPort)
+}
+
+//shrimp:hotpath
+func (n *NIC) duStepLink() sim.Ctl {
+	return n.duSeq.Sleep(n.linkTime(n.wireSize(len(n.duPkt.Data))))
+}
+
+//shrimp:hotpath
+func (n *NIC) duStepSend() sim.Ctl {
+	pkt := n.duPkt
+	mp := n.net.Acquire()
+	mp.Src = n.id
+	mp.Dst = n.duDst
+	mp.Size = n.wireSize(len(pkt.Data))
+	mp.Payload = pkt
+	n.net.Send(mp)
+	n.nicPort.Release()
+	if n.tr != nil {
+		n.tr.Record(int64(n.e.Now()), trace.KDUEnd, int32(n.id), int64(pkt.DstPage), int64(n.duDst))
+	}
+	n.duPkt = nil
+	return n.duSeq.Next()
+}
+
+//shrimp:hotpath
+func (n *NIC) duStepNext() sim.Ctl {
+	if req, ok := n.duQueue.TryPop(); ok {
+		n.duReq = req
+		return n.duSeq.Goto(duSetup)
+	}
+	n.duQueue.PopFn(n.duRecvFn)
+	return sim.Wait
 }
 
 // grow resizes buf to n bytes, reusing its backing array when possible.
@@ -117,25 +184,11 @@ func grow(buf []byte, n int) []byte {
 	return make([]byte, n)
 }
 
-// inject serializes a packet onto the backplane through the NIC port.
-//shrimp:hotpath
-func (n *NIC) inject(p *sim.Proc, pkt *Packet, dst mesh.NodeID) {
-	wire := n.wireSize(len(pkt.Data))
-	n.nicPort.Acquire(p)
-	p.Sleep(n.linkTime(wire))
-	mp := n.net.Acquire()
-	mp.Src = n.id
-	mp.Dst = dst
-	mp.Size = wire
-	mp.Payload = pkt
-	n.net.Send(mp)
-	n.nicPort.Release()
-}
-
 // Snoop observes a CPU store to local memory (wired to the address
 // space's snoop hook by the machine layer). It runs synchronously at the
 // store instant and never blocks: flow-control stalls are enforced
 // before the store by WaitAUReady.
+//
 //shrimp:hotpath
 func (n *NIC) Snoop(addr memory.Addr, size int) {
 	if !n.cfg.AutomaticUpdate {
@@ -167,6 +220,7 @@ func (n *NIC) Snoop(addr memory.Addr, size int) {
 
 // auStore handles one snooped word-sized store to an AU-bound page.
 // data is a transient view; it must be consumed before returning.
+//
 //shrimp:hotpath
 func (n *NIC) auStore(vpn int, ent *OPTEntry, off int, data []byte) {
 	if !n.cfg.Combining || !ent.Combine {
@@ -198,6 +252,7 @@ func (n *NIC) auStore(vpn int, ent *OPTEntry, off int, data []byte) {
 }
 
 // flushCombine emits the pending combined AU packet, if any.
+//
 //shrimp:hotpath
 func (n *NIC) flushCombine() {
 	c := &n.combine
@@ -218,6 +273,7 @@ func (n *NIC) flushCombine() {
 // The packet reaches the outgoing FIFO after the snoop path's
 // board-crossing latency (memory-bus board to EISA-bus board to OPT
 // lookup to packetizer).
+//
 //shrimp:hotpath
 func (n *NIC) emitAU(dst mesh.NodeID, dstPage, off int, interrupt bool, data []byte) {
 	pkt := n.allocPacket()
@@ -240,6 +296,7 @@ func (n *NIC) emitAU(dst mesh.NodeID, dstPage, off int, interrupt bool, data []b
 
 // fifoArrive enqueues an AU packet into the outgoing FIFO and applies
 // the threshold flow-control rule.
+//
 //shrimp:hotpath
 func (n *NIC) fifoArrive(pkt *Packet, dst mesh.NodeID) {
 	wire := n.wireSize(len(pkt.Data))
@@ -296,25 +353,68 @@ func (n *NIC) FenceAU(p *sim.Proc) {
 	}
 }
 
-// outEngine drains the outgoing FIFO into the backplane. Draining
-// contends with packet reception for the NIC port, so the FIFO cannot
-// drain while a packet is arriving — the effect §4.5.2 identifies.
+// The outgoing-FIFO drain engine injects queued AU packets into the
+// backplane. Draining contends with packet reception for the NIC port,
+// so the FIFO cannot drain while a packet is arriving — the effect
+// §4.5.2 identifies. It too is a continuation state machine parked on
+// the FIFO between packets.
+const (
+	outPort = iota // arbitrate for the NIC port
+	outLink        // link serialization time (port held)
+	outSend        // hand to the mesh; flow-control bookkeeping
+	outNext        // pump the FIFO: next packet inline, or park
+)
+
+// outBegin is the FIFO delivery callback: it accepts one queued packet
+// and starts the injection pipeline.
+//
 //shrimp:hotpath
-func (n *NIC) outEngine(p *sim.Proc) {
-	for {
-		e := n.fifo.Pop(p)
-		n.inject(p, e.pkt, e.dst)
-		n.fifoBytes -= n.wireSize(len(e.pkt.Data))
-		if n.tr != nil {
-			n.tr.Record(int64(n.e.Now()), trace.KFIFODrain, int32(n.id), int64(n.fifoBytes), 0)
-		}
-		if n.stalled && n.fifoBytes <= n.cfg.FIFOLowWaterBytes {
-			n.stalled = false
-			n.fifoCond.Broadcast()
-		}
-		n.outAU--
-		if n.outAU == 0 {
-			n.fenceCond.Broadcast()
-		}
+func (n *NIC) outBegin(e fifoEntry) {
+	n.outPkt, n.outDst = e.pkt, e.dst
+	n.outSeq.Start(outPort)
+}
+
+//shrimp:hotpath
+func (n *NIC) outStepPort() sim.Ctl { return n.outSeq.Acquire(n.nicPort) }
+
+//shrimp:hotpath
+func (n *NIC) outStepLink() sim.Ctl {
+	return n.outSeq.Sleep(n.linkTime(n.wireSize(len(n.outPkt.Data))))
+}
+
+//shrimp:hotpath
+func (n *NIC) outStepSend() sim.Ctl {
+	pkt := n.outPkt
+	wire := n.wireSize(len(pkt.Data))
+	mp := n.net.Acquire()
+	mp.Src = n.id
+	mp.Dst = n.outDst
+	mp.Size = wire
+	mp.Payload = pkt
+	n.net.Send(mp)
+	n.nicPort.Release()
+	n.fifoBytes -= wire
+	if n.tr != nil {
+		n.tr.Record(int64(n.e.Now()), trace.KFIFODrain, int32(n.id), int64(n.fifoBytes), 0)
 	}
+	if n.stalled && n.fifoBytes <= n.cfg.FIFOLowWaterBytes {
+		n.stalled = false
+		n.fifoCond.Broadcast()
+	}
+	n.outAU--
+	if n.outAU == 0 {
+		n.fenceCond.Broadcast()
+	}
+	n.outPkt = nil
+	return n.outSeq.Next()
+}
+
+//shrimp:hotpath
+func (n *NIC) outStepNext() sim.Ctl {
+	if e, ok := n.fifo.TryPop(); ok {
+		n.outPkt, n.outDst = e.pkt, e.dst
+		return n.outSeq.Goto(outPort)
+	}
+	n.fifo.PopFn(n.outRecvFn)
+	return sim.Wait
 }

@@ -1,0 +1,103 @@
+package sim
+
+import "testing"
+
+// BenchmarkProcSwitch measures the goroutine-handoff cost of the
+// process style: two processes ping-pong through a pair of Conds, so
+// every round is two park/wake cycles — four channel operations and two
+// OS-thread handoffs in the worst case. This is the per-packet overhead
+// the continuation engines eliminate.
+func BenchmarkProcSwitch(b *testing.B) {
+	e := NewEngine()
+	ping := NewCond(e)
+	pong := NewCond(e)
+	rounds := b.N
+	// pong is spawned first so it is parked before ping's first Signal.
+	e.Spawn("pong", func(p *Proc) {
+		for j := 0; j < rounds; j++ {
+			pong.Wait(p)
+			ping.Signal()
+		}
+	})
+	e.Spawn("ping", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			pong.Signal()
+			ping.Wait(p)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+	b.StopTimer()
+	e.Shutdown()
+}
+
+// BenchmarkFnEventDispatch measures the same ping-pong expressed as
+// continuation callbacks: each round is two fn events dispatched inline
+// by the scheduler, with no goroutine handoffs. The ratio against
+// BenchmarkProcSwitch is the per-wakeup saving of the continuation
+// engines (tentpole of PR 6).
+func BenchmarkFnEventDispatch(b *testing.B) {
+	e := NewEngine()
+	ping := NewCond(e)
+	pong := NewCond(e)
+	rounds := b.N
+	i, j := 0, 0
+	var pingStep, pongStep func()
+	pingStep = func() {
+		if i++; i <= rounds {
+			pong.Signal()
+			ping.WaitFn(pingStep)
+		}
+	}
+	pongStep = func() {
+		ping.Signal()
+		if j++; j < rounds {
+			pong.WaitFn(pongStep)
+		}
+	}
+	pong.WaitFn(pongStep)
+	e.At(0, pingStep)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+	b.StopTimer()
+	e.Shutdown()
+}
+
+// BenchmarkSeqRoundTrip measures a full device-style service round —
+// pop a request, acquire a resource, sleep, release, re-arm — through
+// the step sequencer, the composite path the NIC engines execute per
+// packet.
+func BenchmarkSeqRoundTrip(b *testing.B) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	r := NewResource(e)
+	var s *Seq
+	var recv func(int)
+	s = NewSeq(e,
+		func() Ctl { return s.Acquire(r) },
+		func() Ctl { return s.Sleep(1) },
+		func() Ctl {
+			r.Release()
+			return s.Next()
+		},
+		func() Ctl {
+			if _, ok := q.TryPop(); ok {
+				return s.Goto(0)
+			}
+			q.PopFn(recv)
+			return Wait
+		},
+	)
+	recv = func(int) { s.Start(0) }
+	q.PopFn(recv)
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+	b.StopTimer()
+	e.Shutdown()
+}

@@ -35,7 +35,7 @@ func less(a, b *event) bool {
 // Engine is a deterministic discrete-event simulator. The zero value is
 // not usable; construct with NewEngine.
 //
-// Three structural choices keep the event hot path cheap:
+// Four structural choices keep the event hot path cheap:
 //
 //   - The calendar is split in two. Future events live in a hand-rolled
 //     binary heap; events due at the current instant (zero-delay
@@ -57,6 +57,18 @@ func less(a, b *event) bool {
 //     wakeup (or any fn event) continues with no handoff at all. Exactly
 //     one goroutine owns the engine at any instant, so the simulation
 //     stays logically single-threaded and bit-for-bit deterministic.
+//
+//   - High-frequency actors avoid processes entirely. The blocking
+//     primitives have continuation counterparts — Cond.WaitFn,
+//     Resource.AcquireFn, Queue.PopFn, and the Seq step sequencer — that
+//     schedule plain fn events at exactly the (t, seq) calendar positions
+//     where the corresponding process wakeups would sit. Device engines
+//     (internal/nic) run this way: their per-packet work dispatches
+//     inline in the engine-owning goroutine with zero channel handoffs,
+//     while app code (internal/machine) keeps the expressive blocking
+//     style for its rare wakeups. Mixing the two styles on one Cond,
+//     Resource, or Queue is legal; waiters of either kind are granted in
+//     arrival order. See docs/engine.md for the determinism argument.
 type Engine struct {
 	now    Time
 	seq    uint64

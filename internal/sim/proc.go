@@ -79,12 +79,23 @@ func (p *Proc) block() {
 	p.e.blocked--
 }
 
+// condWaiter is one entry in a Cond's FIFO: either a parked process or a
+// registered continuation callback. Exactly one of p and fn is set.
+type condWaiter struct {
+	p  *Proc
+	fn func()
+}
+
 // Cond is a simulation-time condition variable. Processes Wait on it;
-// any code (engine context or another process) may Signal or Broadcast.
-// Wakeups are FIFO and occur at the signaling instant.
+// continuation state machines register callbacks with WaitFn; any code
+// (engine context or another process) may Signal or Broadcast. Both
+// waiter kinds share one FIFO, so wakeups occur in registration order at
+// the signaling instant regardless of style: a woken process resumes via
+// a proc event, a callback runs as an inline fn event, and the two land
+// at the same (t, seq) calendar position either way.
 type Cond struct {
 	e       *Engine
-	waiters []*Proc
+	waiters []condWaiter
 }
 
 // NewCond returns a condition bound to engine e.
@@ -94,39 +105,74 @@ func NewCond(e *Engine) *Cond { return &Cond{e: e} }
 // As with sync.Cond, the surrounding predicate must be re-checked in a
 // loop by the caller when multiple waiters compete.
 func (c *Cond) Wait(p *Proc) {
-	c.waiters = append(c.waiters, p)
+	c.waiters = append(c.waiters, condWaiter{p: p})
 	p.block()
 }
 
-// Waiters reports how many processes are currently waiting.
+// WaitFn registers fn to be scheduled (as a fn event at the signaling
+// instant) by the next Signal or Broadcast that reaches it. The
+// registration is one-shot: a persistent waiter re-registers from inside
+// its callback, re-checking its predicate first exactly as a Wait loop
+// would. Unlike parked processes, registered callbacks do not count as
+// Blocked: an idle device engine waiting for work is not a deadlock.
+//
+//shrimp:hotpath
+func (c *Cond) WaitFn(fn func()) {
+	c.waiters = append(c.waiters, condWaiter{fn: fn})
+}
+
+// Waiters reports how many processes or callbacks are currently waiting.
 func (c *Cond) Waiters() int { return len(c.waiters) }
 
-// Signal wakes the longest-waiting process, if any.
+// Signal wakes the longest-waiting process or callback, if any.
+//
+//shrimp:hotpath
 func (c *Cond) Signal() {
 	if len(c.waiters) == 0 {
 		return
 	}
-	p := c.waiters[0]
+	w := c.waiters[0]
 	copy(c.waiters, c.waiters[1:])
+	c.waiters[len(c.waiters)-1] = condWaiter{}
 	c.waiters = c.waiters[:len(c.waiters)-1]
-	c.e.wake(p, c.e.now)
+	if w.fn != nil {
+		c.e.At(c.e.now, w.fn)
+		return
+	}
+	c.e.wake(w.p, c.e.now)
 }
 
-// Broadcast wakes every waiting process.
+// Broadcast wakes every waiting process and callback.
+//
+//shrimp:hotpath
 func (c *Cond) Broadcast() {
-	for _, p := range c.waiters {
-		c.e.wake(p, c.e.now)
+	for i, w := range c.waiters {
+		if w.fn != nil {
+			c.e.At(c.e.now, w.fn)
+		} else {
+			c.e.wake(w.p, c.e.now)
+		}
+		c.waiters[i] = condWaiter{}
 	}
 	c.waiters = c.waiters[:0]
 }
 
+// resWaiter is one entry in a Resource's FIFO queue: a parked process or
+// an acquisition callback. Exactly one of p and fn is set.
+type resWaiter struct {
+	p  *Proc
+	fn func()
+}
+
 // Resource is a non-preemptive, FIFO-queued exclusive resource: the model
 // used for the memory bus (which cannot cycle-share between the CPU and
-// the network interface).
+// the network interface). Blocking (Acquire) and continuation-style
+// (AcquireFn) clients share one wait queue, so grant order is arrival
+// order regardless of style.
 type Resource struct {
 	e     *Engine
 	held  bool
-	queue []*Proc
+	queue []resWaiter
 }
 
 // NewResource returns an idle resource bound to engine e.
@@ -138,10 +184,26 @@ func (r *Resource) Acquire(p *Proc) {
 		r.held = true
 		return
 	}
-	r.queue = append(r.queue, p)
+	r.queue = append(r.queue, resWaiter{p: p})
 	// Ownership is transferred directly by Release, so on wake the
 	// resource is already held on this process's behalf.
 	p.block()
+}
+
+// AcquireFn takes the resource immediately if it is free, reporting
+// true — mirroring Acquire's no-yield fast path. Otherwise it queues fn
+// to be run (as a fn event at the release instant) once ownership is
+// transferred to it, and reports false. Either way the caller owns the
+// resource when its continuation executes and must eventually Release.
+//
+//shrimp:hotpath
+func (r *Resource) AcquireFn(fn func()) bool {
+	if !r.held && len(r.queue) == 0 {
+		r.held = true
+		return true
+	}
+	r.queue = append(r.queue, resWaiter{fn: fn})
+	return false
 }
 
 // TryAcquire takes the resource if it is free, reporting success.
@@ -153,9 +215,11 @@ func (r *Resource) TryAcquire() bool {
 	return true
 }
 
-// Release frees the resource or, if processes are waiting, transfers
-// ownership directly to the longest waiter (so no third party can steal
-// the resource between release and wakeup).
+// Release frees the resource or, if processes or callbacks are waiting,
+// transfers ownership directly to the longest waiter (so no third party
+// can steal the resource between release and wakeup).
+//
+//shrimp:hotpath
 func (r *Resource) Release() {
 	if !r.held {
 		panic("sim: Release of unheld resource")
@@ -164,10 +228,15 @@ func (r *Resource) Release() {
 		r.held = false
 		return
 	}
-	p := r.queue[0]
+	w := r.queue[0]
 	copy(r.queue, r.queue[1:])
+	r.queue[len(r.queue)-1] = resWaiter{}
 	r.queue = r.queue[:len(r.queue)-1]
-	r.e.wake(p, r.e.now)
+	if w.fn != nil {
+		r.e.At(r.e.now, w.fn)
+		return
+	}
+	r.e.wake(w.p, r.e.now)
 }
 
 // Use acquires the resource, holds it for d, and releases it.

@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSeqLinear runs a three-step sequence with sleeps and checks each
+// step executes once, in order, at the expected virtual times.
+func TestSeqLinear(t *testing.T) {
+	e := NewEngine()
+	var log []Time
+	var s *Seq
+	s = NewSeq(e,
+		func() Ctl { log = append(log, e.Now()); return s.Sleep(10) },
+		func() Ctl { log = append(log, e.Now()); return s.Sleep(5) },
+		func() Ctl { log = append(log, e.Now()); return s.Next() },
+	)
+	e.At(0, func() { s.Start(0) })
+	e.Run()
+	want := []Time{0, 10, 15}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("step times = %v, want %v", log, want)
+	}
+}
+
+// TestSeqGoto checks inline branching: a step that jumps backward loops
+// without any event-scheduling round trip, and a jump past the end of
+// the step list terminates the run.
+func TestSeqGoto(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var s *Seq
+	s = NewSeq(e,
+		func() Ctl {
+			n++
+			if n < 4 {
+				return s.Goto(0)
+			}
+			return s.Goto(99) // far past the end: terminate
+		},
+	)
+	e.At(0, func() { s.Start(0) })
+	e.Run()
+	if n != 4 {
+		t.Fatalf("looped %d times, want 4", n)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("inline loop advanced time to %v", e.Now())
+	}
+}
+
+// TestSeqAcquireFast checks that acquiring a free resource continues the
+// sequence inline, with no scheduling point — the exact analogue of a
+// process's no-yield Resource.Acquire fast path.
+func TestSeqAcquireFast(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	order := []string{}
+	var s *Seq
+	s = NewSeq(e,
+		func() Ctl { order = append(order, "acquire"); return s.Acquire(r) },
+		func() Ctl { order = append(order, "hold"); r.Release(); return s.Next() },
+	)
+	e.At(0, func() {
+		s.Start(0)
+		// Acquire was inline: by the time Start returns the sequence
+		// has already run to completion and released.
+		order = append(order, "after-start")
+	})
+	e.Run()
+	want := []string{"acquire", "hold", "after-start"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	if r.Busy() {
+		t.Fatal("resource still held")
+	}
+}
+
+// TestSeqAcquireContended checks FIFO handoff between a blocking
+// process and a sequencer contending for the same resource: grant order
+// is arrival order regardless of waiter style, and the sequencer owns
+// the resource when its post-acquire step runs.
+func TestSeqAcquireContended(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e)
+	var order []string
+	var s *Seq
+	s = NewSeq(e,
+		func() Ctl { return s.Acquire(r) },
+		func() Ctl {
+			if !r.Busy() {
+				t.Error("sequence resumed without holding the resource")
+			}
+			order = append(order, "seq")
+			r.Release()
+			return s.Next()
+		},
+	)
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Sleep(10)
+		order = append(order, "holder-release")
+		r.Release()
+	})
+	e.Spawn("proc-waiter", func(p *Proc) {
+		p.Sleep(1) // arrives first among the waiters
+		r.Acquire(p)
+		order = append(order, "proc")
+		r.Release()
+	})
+	e.At(2, func() { s.Start(0) }) // arrives second
+	e.Run()
+	want := []string{"holder-release", "proc", "seq"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("grant order = %v, want %v", order, want)
+	}
+}
+
+// TestSeqSleepZeroYields checks that a zero-duration Sleep is still a
+// scheduling point, exactly like Proc.Sleep(0): earlier-scheduled
+// same-instant events run before the sequence resumes.
+func TestSeqSleepZeroYields(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	var s *Seq
+	s = NewSeq(e,
+		func() Ctl { order = append(order, "step0"); return s.Sleep(0) },
+		func() Ctl { order = append(order, "step1"); return s.Next() },
+	)
+	e.At(0, func() {
+		s.Start(0)
+		e.At(e.Now(), func() { order = append(order, "intervening") })
+	})
+	e.Run()
+	// The sequence's zero-sleep resume was scheduled before the
+	// intervening event, so it still runs first; what matters is that
+	// step1 did NOT run inline inside Start.
+	want := []string{"step0", "step1", "intervening"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestQueuePopFnDelivery checks one-shot callback delivery: the
+// callback receives the head item at the push instant's calendar
+// position, and re-arming from inside the callback drains subsequent
+// pushes in order.
+func TestQueuePopFnDelivery(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	var got []int
+	var recv func(int)
+	recv = func(v int) {
+		got = append(got, v)
+		q.PopFn(recv)
+	}
+	q.PopFn(recv)
+	e.At(0, func() { q.Push(1); q.Push(2) })
+	e.At(5, func() { q.Push(3) })
+	e.Run()
+	if want := []int{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue left %d items", q.Len())
+	}
+}
+
+// TestQueuePopFnNonEmpty checks that registering on a non-empty queue
+// delivers at a scheduling point, not inline.
+func TestQueuePopFnNonEmpty(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[string](e)
+	var order []string
+	e.At(0, func() {
+		q.Push("item")
+		q.PopFn(func(v string) { order = append(order, "deliver:"+v) })
+		order = append(order, "registered")
+	})
+	e.Run()
+	want := []string{"registered", "deliver:item"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestQueuePopFnDoubleRegisterPanics pins the single-consumer contract.
+func TestQueuePopFnDoubleRegisterPanics(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	q.PopFn(func(int) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second PopFn did not panic")
+		}
+	}()
+	q.PopFn(func(int) {})
+}
+
+// TestCondWaitFnOrder checks that process and callback waiters on one
+// Cond wake in registration order.
+func TestCondWaitFnOrder(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	var order []string
+	e.Spawn("first", func(p *Proc) {
+		c.Wait(p)
+		order = append(order, "proc")
+	})
+	e.At(0, func() { c.WaitFn(func() { order = append(order, "fn") }) })
+	e.At(1, func() { c.Signal(); c.Signal() })
+	e.Run()
+	if want := []string{"proc", "fn"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("wake order = %v, want %v", order, want)
+	}
+	e.Shutdown()
+}
+
+// TestCondBroadcastMixed checks Broadcast wakes both waiter kinds.
+func TestCondBroadcastMixed(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	woke := 0
+	e.Spawn("w", func(p *Proc) {
+		c.Wait(p)
+		woke++
+	})
+	e.At(0, func() { c.WaitFn(func() { woke++ }) })
+	e.At(1, func() { c.Broadcast() })
+	e.Run()
+	if woke != 2 {
+		t.Fatalf("woke %d waiters, want 2", woke)
+	}
+	if c.Waiters() != 0 {
+		t.Fatalf("%d waiters left", c.Waiters())
+	}
+	e.Shutdown()
+}
+
+// TestAsyncPathsAllocationFree asserts the continuation primitives the
+// NIC engines ride on — Queue.PopFn re-arming and delivery, Seq step
+// dispatch, Seq.Sleep, Seq.Acquire under contention, Resource fn-waiter
+// handoff — allocate nothing in steady state. This is the async
+// counterpart of TestProcSleepAllocationFree.
+func TestAsyncPathsAllocationFree(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e)
+	r := NewResource(e)
+	served := 0
+	var s *Seq
+	var recv func(int)
+	s = NewSeq(e,
+		func() Ctl { return s.Acquire(r) },
+		func() Ctl { return s.Sleep(3) },
+		func() Ctl {
+			r.Release()
+			served++
+			return s.Next()
+		},
+		func() Ctl {
+			if _, ok := q.TryPop(); ok {
+				return s.Goto(0)
+			}
+			q.PopFn(recv)
+			return Wait
+		},
+	)
+	recv = func(int) { s.Start(0) }
+	q.PopFn(recv)
+	avg := testing.AllocsPerRun(100, func() {
+		q.Push(1)
+		q.Push(2)
+		e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("async service loop allocates %.1f objects per run, want 0", avg)
+	}
+	if served == 0 {
+		t.Fatal("sequence never ran")
+	}
+}
