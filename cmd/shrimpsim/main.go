@@ -13,7 +13,7 @@
 //	               barnes-nx|ocean-nx|dfs|render[,app...]
 //	          [-nodes N] [-variant au|du] [-protocol hlrc|hlrc-au|aurc]
 //	          [-syscall] [-intmsg] [-nocombine] [-fifo bytes] [-duqueue N]
-//	          [-parallel N] [-quick]
+//	          [-parallel N] [-share-prefix] [-quick]
 //	          [-trace FILE] [-trace-ndjson FILE] [-trace-filter KINDS]
 //	          [-trace-max N] [-metrics]
 package main
@@ -29,7 +29,6 @@ import (
 	"strings"
 
 	"shrimp/internal/harness"
-	"shrimp/internal/machine"
 	"shrimp/internal/prof"
 	"shrimp/internal/stats"
 	"shrimp/internal/trace"
@@ -47,6 +46,8 @@ func main() {
 	duq := flag.Int("duqueue", 0, "deliberate-update queue depth (0 = default 1)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"apps to simulate concurrently when several are named")
+	sharePrefix := flag.Bool("share-prefix", false,
+		"run apps sharing a warmup prefix from one checkpoint (output is identical)")
 	quick := flag.Bool("quick", false, "use tiny problem sizes")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	traceNDJSON := flag.String("trace-ndjson", "", "write the raw trace event stream as NDJSON to this file")
@@ -83,6 +84,28 @@ func main() {
 		apps = append(apps, app)
 	}
 
+	// Flags become Knobs rather than a build-time Mutate so the harness
+	// can defer them to the post-warmup phase boundary, which is what
+	// makes -share-prefix runs byte-identical to cold ones.
+	var knobs harness.Knobs
+	if *syscall {
+		knobs.SyscallPerSend = ptr(true)
+	}
+	if *intmsg {
+		knobs.InterruptPerMessage = ptr(true)
+	}
+	if *nocombine {
+		knobs.Combining = ptr(false)
+	}
+	if *fifo > 0 {
+		knobs.OutFIFOBytes = ptr(*fifo)
+		knobs.FIFOThresholdBytes = ptr(*fifo * 3 / 4)
+		knobs.FIFOLowWaterBytes = ptr(*fifo / 4)
+	}
+	if *duq > 0 {
+		knobs.DUQueueDepth = ptr(*duq)
+	}
+
 	var cells []harness.Spec
 	for _, app := range apps {
 		spec := harness.Spec{App: app, Nodes: *nodes, Variant: harness.DefaultVariant(app)}
@@ -99,21 +122,7 @@ func main() {
 			p := p
 			spec.Protocol = &p
 		}
-		spec.Mutate = func(c *machine.Config) {
-			c.SyscallPerSend = *syscall
-			c.NIC.InterruptPerMessage = *intmsg
-			if *nocombine {
-				c.NIC.Combining = false
-			}
-			if *fifo > 0 {
-				c.NIC.OutFIFOBytes = *fifo
-				c.NIC.FIFOThresholdBytes = *fifo * 3 / 4
-				c.NIC.FIFOLowWaterBytes = *fifo / 4
-			}
-			if *duq > 0 {
-				c.NIC.DUQueueDepth = *duq
-			}
-		}
+		spec.Knobs = knobs
 		spec.Trace = traceOpts
 		cells = append(cells, spec)
 	}
@@ -122,7 +131,11 @@ func main() {
 	if *quick {
 		wl = harness.QuickWorkloads()
 	}
-	results := harness.RunCells(context.Background(), cells, *parallel, &wl)
+	run := harness.RunCells
+	if *sharePrefix {
+		run = harness.RunCellsShared
+	}
+	results := run(context.Background(), cells, *parallel, &wl)
 
 	for i, app := range apps {
 		if i > 0 {
@@ -177,6 +190,8 @@ func writeTraces(chromePath, ndjsonPath string, recs []*trace.Recorder, labels [
 		write(ndjsonPath, func(w io.Writer) error { return trace.WriteNDJSON(w, recs, labels) })
 	}
 }
+
+func ptr[T any](v T) *T { return &v }
 
 func report(app harness.App, nodes int, wl *harness.Workloads, res harness.Result) {
 	fmt.Printf("%s on %d nodes (%s)\n", app, nodes, wl.SizeString(app))

@@ -41,6 +41,7 @@ import (
 var allowedFiles = []string{
 	"internal/sim/engine.go",       // ownership-token scheduler
 	"internal/harness/parallel.go", // experiment-cell worker pool
+	"internal/harness/prefix.go",   // prefix-sharing unit pool: same shape as parallel.go, units instead of cells
 }
 
 // simPkgPath is the package whose Engine type owns Spawn/SpawnAt.

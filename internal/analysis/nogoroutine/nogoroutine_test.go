@@ -14,5 +14,7 @@ func TestNogoroutine(t *testing.T) {
 		"shrimp/internal/server",
 		"shrimp/internal/nic",
 		"shrimp/internal/machine",
+		"shrimp/internal/checkpoint",
+		"shrimp/internal/harness",
 	)
 }

@@ -1,0 +1,8 @@
+// Package checkpoint is a nogoroutine fixture: snapshot/restore code
+// is sim-side, so it may not fan out goroutines — a concurrent Restore
+// racing the engine would corrupt the very state it rewinds.
+package checkpoint
+
+func badConcurrentRestore(restore func()) {
+	go restore() // want `go statement outside the scheduler allowlist`
+}

@@ -1,0 +1,8 @@
+// Package harness fixture: prefix.go is on the nogoroutine allowlist
+// (the prefix-sharing unit pool runs whole simulations per goroutine,
+// outside any engine), so its go statements pass.
+package harness
+
+func unitPool(run func()) {
+	go run()
+}

@@ -17,6 +17,7 @@ func TestBoundaryClassification(t *testing.T) {
 		{"shrimp/internal/svm", true, false},
 		{"shrimp/internal/apps/barnes", true, false},
 		{"shrimp/internal/trace", true, false},
+		{"shrimp/internal/checkpoint", true, false},
 
 		{"shrimp/internal/server", false, true},
 		{"shrimp/internal/server/sub", false, true},

@@ -1,0 +1,11 @@
+// Package checkpoint is a walltime fixture: snapshot/restore code is
+// sim-side (it copies simulation state), so host clocks are banned —
+// a timestamp taken during Take would differ between a cold run and a
+// forked one.
+package checkpoint
+
+import "time"
+
+func badSnapshotStamp() {
+	_ = time.Now() // want `time\.Now reads the wall clock`
+}

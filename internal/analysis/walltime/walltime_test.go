@@ -10,6 +10,7 @@ import (
 func TestWalltime(t *testing.T) {
 	analysistest.Run(t, "testdata", walltime.Analyzer,
 		"shrimp/internal/sim",
+		"shrimp/internal/checkpoint",
 		"shrimp/internal/harness",
 	)
 }

@@ -104,22 +104,50 @@ func readCell(p *sim.Proc, rt *svm.Runtime, l *svmLayout, i int) cell {
 // demand, the pattern behind Barnes-SVM's large notification share
 // (Table 3). Results are validated against the sequential reference.
 func RunSVM(s *svm.System, pr Params) sim.Time {
+	return StartSVM(s, pr).Finish()
+}
+
+// SVMRun is a Barnes-SVM instance that has completed its warmup prefix
+// (shared layout, body initialization, and the first barrier) and is
+// parked at a checkpointable phase boundary. Finish runs the time steps
+// and validation; after a checkpoint restore it can run again.
+type SVMRun struct {
+	s    *svm.System
+	pr   Params
+	l    *svmLayout
+	warm sim.Time
+}
+
+// StartSVM runs the warmup prefix of Barnes-SVM: shared layout, each
+// rank's body-block initialization, and the first barrier.
+func StartSVM(s *svm.System, pr Params) *SVMRun {
 	nprocs := s.Nodes()
-	l := layoutSVM(s, pr)
+	run := &SVMRun{s: s, pr: pr, l: layoutSVM(s, pr)}
 	ref := generate(pr)
+
+	run.warm = s.M().RunParallel("barnes-svm-init", func(nd *machine.Node, p *sim.Proc) {
+		rt := s.Runtime(int(nd.ID))
+		lo, hi := split(pr.Bodies, nprocs, rt.Rank())
+		// Initialize own block.
+		for i := lo; i < hi; i++ {
+			writeBody(p, rt, run.l, i, &ref[i])
+		}
+		rt.Barrier(p)
+	})
+	return run
+}
+
+// Finish runs the simulation steps and validation, returning the total
+// parallel execution time (warmup plus body).
+func (run *SVMRun) Finish() sim.Time {
+	s, pr, l := run.s, run.pr, run.l
+	nprocs := s.Nodes()
 
 	elapsed := s.M().RunParallel("barnes-svm", func(nd *machine.Node, p *sim.Proc) {
 		rt := s.Runtime(int(nd.ID))
 		rank := rt.Rank()
 		lo, hi := split(pr.Bodies, nprocs, rank)
 		cpu := nd.CPUFor(p)
-
-		// Initialize own block.
-		for i := lo; i < hi; i++ {
-			writeBody(p, rt, l, i, &ref[i])
-		}
-		rt.Barrier(p)
-
 		for step := 0; step < pr.Steps; step++ {
 			// Phase 1: bounding box. Rank 0 resets, then everyone merges
 			// its local extent under a lock.
@@ -198,7 +226,7 @@ func RunSVM(s *svm.System, pr Params) sim.Time {
 		}
 	})
 	validate(pr, got)
-	return elapsed
+	return run.warm + elapsed
 }
 
 // svmForce computes the acceleration on body bi by traversing the

@@ -11,13 +11,31 @@ import (
 // communication happens through the boundary pages shared by adjacent
 // blocks (§3). The result is validated against the sequential solver.
 func RunSVM(s *svm.System, pr Params) sim.Time {
+	return StartSVM(s, pr).Finish()
+}
+
+// SVMRun is an Ocean-SVM instance that has completed its warmup prefix
+// (grid layout, initialization, and the first barrier) and is parked at
+// a checkpointable phase boundary. Finish runs the solver body and
+// validation; after a checkpoint restore it can run again.
+type SVMRun struct {
+	s       *svm.System
+	pr      Params
+	gridOff int
+	warm    sim.Time
+}
+
+// StartSVM runs the warmup prefix of Ocean-SVM: grid layout, per-rank
+// initialization, and the first barrier.
+func StartSVM(s *svm.System, pr Params) *SVMRun {
 	stride := pr.stride()
 	nprocs := s.Nodes()
-	gridOff := s.AllocPages((8*stride*stride + svm.PageSize - 1) / svm.PageSize)
-	cell := func(r, c int) int { return gridOff + 8*(r*stride+c) }
+	run := &SVMRun{s: s, pr: pr}
+	run.gridOff = s.AllocPages((8*stride*stride + svm.PageSize - 1) / svm.PageSize)
+	cell := func(r, c int) int { return run.gridOff + 8*(r*stride+c) }
 
 	init := initial(pr)
-	elapsed := s.M().RunParallel("ocean-svm", func(nd *machine.Node, p *sim.Proc) {
+	run.warm = s.M().RunParallel("ocean-svm-init", func(nd *machine.Node, p *sim.Proc) {
 		rt := s.Runtime(int(nd.ID))
 		lo, hi := rowsFor(pr.N, nprocs, rt.Rank())
 
@@ -35,7 +53,21 @@ func RunSVM(s *svm.System, pr Params) sim.Time {
 			}
 		}
 		rt.Barrier(p)
+	})
+	return run
+}
 
+// Finish runs the red-black iterations and validation, returning the
+// total parallel execution time (warmup plus body).
+func (run *SVMRun) Finish() sim.Time {
+	s, pr, gridOff := run.s, run.pr, run.gridOff
+	stride := pr.stride()
+	nprocs := s.Nodes()
+	cell := func(r, c int) int { return gridOff + 8*(r*stride+c) }
+
+	elapsed := s.M().RunParallel("ocean-svm", func(nd *machine.Node, p *sim.Proc) {
+		rt := s.Runtime(int(nd.ID))
+		lo, hi := rowsFor(pr.N, nprocs, rt.Rank())
 		for it := 0; it < pr.Iters; it++ {
 			for color := 0; color < 2; color++ {
 				for r := lo; r < hi; r++ {
@@ -68,5 +100,5 @@ func RunSVM(s *svm.System, pr Params) sim.Time {
 		}
 	})
 	validate(pr, got)
-	return elapsed
+	return run.warm + elapsed
 }

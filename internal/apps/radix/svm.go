@@ -12,29 +12,63 @@ import (
 // of the destination array, the pattern that induces page-granularity
 // write-write false sharing (§3).
 func RunSVM(s *svm.System, pr Params) sim.Time {
+	return StartSVM(s, pr).Finish()
+}
+
+// SVMRun is a Radix-SVM instance that has completed its warmup prefix
+// (shared layout, key initialization, and the first barrier) and is
+// parked at a checkpointable phase boundary. Finish runs the sort body
+// and validation; after a checkpoint restore it can run again.
+type SVMRun struct {
+	s       *svm.System
+	pr      Params
+	keys    []uint32
+	offA    int
+	offB    int
+	offHist int
+	histRow int
+	warm    sim.Time
+}
+
+// StartSVM runs the warmup prefix of Radix-SVM: shared layout, each
+// rank's key initialization, and the first barrier.
+func StartSVM(s *svm.System, pr Params) *SVMRun {
 	n := pr.Keys
 	nprocs := s.Nodes()
-	keys := generate(pr)
+	r := &SVMRun{s: s, pr: pr, keys: generate(pr)}
 
 	// Shared layout: two key arrays (ping-pong) and the histogram
 	// matrix, one page-aligned row per rank to keep the histogram
 	// exchange itself from false sharing.
-	offA := s.AllocPages((4*n + svm.PageSize - 1) / svm.PageSize)
-	offB := s.AllocPages((4*n + svm.PageSize - 1) / svm.PageSize)
-	histRow := (4*pr.Radix + svm.PageSize - 1) / svm.PageSize * svm.PageSize
-	offHist := s.AllocPages(histRow / svm.PageSize * nprocs)
+	r.offA = s.AllocPages((4*n + svm.PageSize - 1) / svm.PageSize)
+	r.offB = s.AllocPages((4*n + svm.PageSize - 1) / svm.PageSize)
+	r.histRow = (4*pr.Radix + svm.PageSize - 1) / svm.PageSize * svm.PageSize
+	r.offHist = s.AllocPages(r.histRow / svm.PageSize * nprocs)
+
+	r.warm = s.M().RunParallel("radix-svm-init", func(nd *machine.Node, p *sim.Proc) {
+		rt := s.Runtime(int(nd.ID))
+		lo, hi := split(n, nprocs, rt.Rank())
+		// Initialization: each rank writes its share of the source keys.
+		for i := lo; i < hi; i++ {
+			rt.WriteUint32(p, r.offA+4*i, r.keys[i])
+		}
+		rt.Barrier(p)
+	})
+	return r
+}
+
+// Finish runs the sort passes and validation, returning the total
+// parallel execution time (warmup plus body).
+func (run *SVMRun) Finish() sim.Time {
+	s, pr, keys := run.s, run.pr, run.keys
+	n := pr.Keys
+	nprocs := s.Nodes()
+	offA, offB, offHist, histRow := run.offA, run.offB, run.offHist, run.histRow
 
 	elapsed := s.M().RunParallel("radix-svm", func(nd *machine.Node, p *sim.Proc) {
 		rt := s.Runtime(int(nd.ID))
 		rank := rt.Rank()
 		lo, hi := split(n, nprocs, rank)
-
-		// Initialization: each rank writes its share of the source keys.
-		for i := lo; i < hi; i++ {
-			rt.WriteUint32(p, offA+4*i, keys[i])
-		}
-		rt.Barrier(p)
-
 		src, dst := offA, offB
 		for pass := 0; pass < pr.Iters; pass++ {
 			// Phase 1: local histogram over this rank's keys.
@@ -101,7 +135,7 @@ func RunSVM(s *svm.System, pr Params) sim.Time {
 	if countKeys(final) != countKeys(keys) {
 		panic("radix: keys lost or duplicated in SVM sort")
 	}
-	return elapsed
+	return run.warm + elapsed
 }
 
 // countKeys returns an order-independent checksum of a key multiset.

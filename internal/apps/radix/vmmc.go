@@ -54,13 +54,39 @@ type vmmcRank struct {
 // RunVMMC executes Radix-VMMC over a machine using the given mechanism
 // and returns the parallel execution time.
 func RunVMMC(sys *vmmc.System, mech Mechanism, pr Params) sim.Time {
+	return StartVMMC(sys, mech, pr).Finish()
+}
+
+// VMMCRun is a Radix-VMMC instance that has completed its warmup prefix
+// (exports, imports, AU bindings, and the first barrier) and is parked
+// at a checkpointable phase boundary. Finish runs the sort body and
+// validation; after a checkpoint restore it can run again — it rewinds
+// the per-rank host-side cursors (barrier epoch, delivery cursor) to
+// their post-warmup values before respawning the app processes.
+type VMMCRun struct {
+	sys         *vmmc.System
+	mech        Mechanism
+	pr          Params
+	keys        []uint32
+	ranks       []*vmmcRank
+	gatherBlock int
+	warm        sim.Time
+	barEpochs   []int
+	seens       []int64
+}
+
+// StartVMMC runs the warmup prefix of Radix-VMMC: buffer exports and
+// imports, AU bindings, and the first barrier.
+func StartVMMC(sys *vmmc.System, mech Mechanism, pr Params) *VMMCRun {
 	nprocs := len(sys.EPs)
 	n := pr.Keys
-	keys := generate(pr)
 	radix := pr.Radix
 
-	histRowWords := radix + 1         // counts + arrival flag
-	gatherBlock := (n/nprocs + 1) * 8 // worst-case (idx,key) pairs from one sender
+	histRowWords := radix + 1 // counts + arrival flag
+	run := &VMMCRun{
+		sys: sys, mech: mech, pr: pr, keys: generate(pr),
+		gatherBlock: (n/nprocs + 1) * 8, // worst-case (idx,key) pairs from one sender
+	}
 
 	// Setup: exports first, then imports and AU bindings.
 	ranks := make([]*vmmcRank, nprocs)
@@ -70,8 +96,8 @@ func RunVMMC(sys *vmmc.System, mech Mechanism, pr Params) sim.Time {
 		rk.dstExp = rk.ep.Export(nil, (4*(hi-lo)+memory.PageSize-1)/memory.PageSize+1)
 		rk.histExp = rk.ep.Export(nil, (4*histRowWords*nprocs+memory.PageSize-1)/memory.PageSize+1)
 		rk.syncExp = rk.ep.Export(nil, 1)
-		rk.gatherExp = rk.ep.Export(nil, (gatherBlock*nprocs+memory.PageSize-1)/memory.PageSize+1)
-		rk.scratch = rk.nd.Mem.AllocBytes(gatherBlock + memory.PageSize)
+		rk.gatherExp = rk.ep.Export(nil, (run.gatherBlock*nprocs+memory.PageSize-1)/memory.PageSize+1)
+		rk.scratch = rk.nd.Mem.AllocBytes(run.gatherBlock + memory.PageSize)
 		ranks[r] = rk
 	}
 	for r := 0; r < nprocs; r++ {
@@ -96,6 +122,36 @@ func RunVMMC(sys *vmmc.System, mech Mechanism, pr Params) sim.Time {
 			}
 		}
 	}
+	run.ranks = ranks
+
+	run.warm = sys.M.RunParallel("radix-vmmc-init", func(nd *machine.Node, p *sim.Proc) {
+		r := int(nd.ID)
+		ranks[r].barrier(p, nprocs, r)
+	})
+	// Capture the host-side cursors at the phase boundary so Finish can
+	// rewind them when re-run after a checkpoint restore.
+	run.barEpochs = make([]int, nprocs)
+	run.seens = make([]int64, nprocs)
+	for r, rk := range ranks {
+		run.barEpochs[r] = rk.barEpoch
+		run.seens[r] = rk.seen
+	}
+	return run
+}
+
+// Finish runs the sort passes and validation, returning the total
+// parallel execution time (warmup plus body).
+func (run *VMMCRun) Finish() sim.Time {
+	sys, mech, pr, keys := run.sys, run.mech, run.pr, run.keys
+	ranks, gatherBlock := run.ranks, run.gatherBlock
+	nprocs := len(sys.EPs)
+	n := pr.Keys
+	radix := pr.Radix
+	histRowWords := radix + 1
+	for r, rk := range ranks {
+		rk.barEpoch = run.barEpochs[r]
+		rk.seen = run.seens[r]
+	}
 
 	final := make([][]uint32, nprocs)
 	elapsed := sys.M.RunParallel("radix-vmmc", func(nd *machine.Node, p *sim.Proc) {
@@ -103,7 +159,6 @@ func RunVMMC(sys *vmmc.System, mech Mechanism, pr Params) sim.Time {
 		rk := ranks[r]
 		cpu := nd.CPUFor(p)
 		mine := append([]uint32(nil), keys[rk.segLo:rk.segHi]...)
-		rk.barrier(p, nprocs, r)
 
 		for pass := 0; pass < pr.Iters; pass++ {
 			// Local histogram.
@@ -185,7 +240,7 @@ func RunVMMC(sys *vmmc.System, mech Mechanism, pr Params) sim.Time {
 	if countKeys(all) != countKeys(keys) {
 		panic("radix-vmmc: key multiset changed")
 	}
-	return elapsed
+	return run.warm + elapsed
 }
 
 // distributeAU writes each key directly into its destination segment

@@ -1,0 +1,101 @@
+// Package checkpoint captures and rewinds complete simulation state at
+// a quiescent instant, so a sweep can run a shared warmup prefix once
+// and fork one branch per cell.
+//
+// The quiescence rule: a checkpoint is only legal between RunParallel
+// phases, when the engine calendar is fully drained, every app process
+// has finished its phase body (parked at the phase boundary — the
+// registered resumable wait), every CPU accounting context is flushed,
+// and every device engine is parked in its continuation wait with
+// nothing queued. Take verifies all of this at every layer and panics
+// on the first violation rather than capturing a torn state; app code
+// is respawned per branch from its reattach hook (the app's Finish
+// function), never mid-stack.
+//
+// Determinism: the engine's whole dynamic state at quiescence is the
+// (now, seq) counter pair; everything below it is plain data that the
+// per-layer Snapshot/Restore pairs copy byte-for-byte. Restoring the
+// counters makes every subsequent Spawn/At/After rebuild the identical
+// (t, seq) calendar a cold run would build, so a forked branch is
+// bitwise indistinguishable from a from-scratch run.
+package checkpoint
+
+import (
+	"fmt"
+
+	"shrimp/internal/machine"
+	"shrimp/internal/svm"
+	"shrimp/internal/vmmc"
+)
+
+// State is one full-simulation checkpoint: the machine plus whatever
+// communication layers the workload stacked on it (either may be nil
+// for workloads that do not use it).
+type State struct {
+	m   *machine.Machine
+	ms  *machine.Snapshot
+	vmc *vmmc.System
+	vms vmmc.SystemSnapshot
+	shm *svm.System
+	shs svm.SystemSnapshot
+}
+
+// Quiescent verifies every layer is at a checkpointable instant.
+func Quiescent(m *machine.Machine, vmc *vmmc.System, shm *svm.System) error {
+	if err := m.Quiescent(); err != nil {
+		return err
+	}
+	if vmc != nil {
+		if err := vmc.Quiescent(); err != nil {
+			return err
+		}
+	}
+	if shm != nil {
+		if err := shm.Quiescent(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Take captures the simulation. The memory layer's copy-on-write stays
+// armed afterwards, so the returned State can be restored once per
+// branch at O(pages dirtied by the branch) cost.
+func Take(m *machine.Machine, vmc *vmmc.System, shm *svm.System) (*State, error) {
+	if err := Quiescent(m, vmc, shm); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	st := &State{m: m, ms: m.Take(), vmc: vmc, shm: shm}
+	if vmc != nil {
+		st.vms = vmc.Snapshot()
+	}
+	if shm != nil {
+		st.shs = shm.Snapshot()
+	}
+	return st, nil
+}
+
+// Detach disarms the checkpoint's copy-on-write capture; the State can
+// no longer be restored. Use it to drop a checkpoint early (the last
+// branch of a group does not need it — and a benchmark taking many
+// snapshots must detach each before taking the next).
+func (st *State) Detach() {
+	st.ms.Detach()
+}
+
+// Restore rewinds every layer to the checkpoint. The simulation must
+// be quiescent again — the previous branch ran its phases to
+// completion — or Restore returns an error without touching anything.
+func (st *State) Restore() error {
+	if err := Quiescent(st.m, st.vmc, st.shm); err != nil {
+		return fmt.Errorf("checkpoint: restore: %w", err)
+	}
+	st.m.Restore(st.ms)
+	if st.vmc != nil {
+		st.vmc.Restore(st.vms)
+	}
+	if st.shm != nil {
+		st.shm.Restore(st.shs)
+	}
+	return nil
+}

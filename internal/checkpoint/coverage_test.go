@@ -1,0 +1,36 @@
+package checkpoint
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotCompleteness walks every struct that participates in
+// checkpointing and fails when a field exists without a classification
+// in the coverage tables — adding a field to a snapshotted struct must
+// come with a decision about how rewind handles it. Structs captured
+// wholesale by value copy (mesh.Stats, stats.Node, the Config blocks)
+// need no table: a new field there is copied automatically.
+func TestSnapshotCompleteness(t *testing.T) {
+	for _, tc := range Covered() {
+		tc := tc
+		t.Run(tc.Type.String(), func(t *testing.T) {
+			if tc.Type.Kind() != reflect.Struct {
+				t.Fatalf("coverage root %v is not a struct", tc.Type)
+			}
+			seen := map[string]bool{}
+			for i := 0; i < tc.Type.NumField(); i++ {
+				name := tc.Type.Field(i).Name
+				seen[name] = true
+				if _, ok := tc.Fields[name]; !ok {
+					t.Errorf("%v.%s has no checkpoint classification: decide captured/asserted/wiring and extend Snapshot/Restore or Quiescent accordingly", tc.Type, name)
+				}
+			}
+			for name := range tc.Fields {
+				if !seen[name] {
+					t.Errorf("coverage table lists %v.%s but the field no longer exists", tc.Type, name)
+				}
+			}
+		})
+	}
+}

@@ -181,10 +181,7 @@ func (c CellSpec) Compile() (Spec, error) {
 	} else if ok {
 		spec.Protocol = &p
 	}
-	if !c.Knobs.isZero() {
-		k := c.Knobs
-		spec.Mutate = k.apply
-	}
+	spec.Knobs = c.Knobs
 	return spec, nil
 }
 
@@ -192,8 +189,10 @@ func (c CellSpec) Compile() (Spec, error) {
 // change outside the encoded state (cost constants compiled into the
 // applications, protocol behavior, engine semantics) can alter a
 // cell's result, so stale disk-cache entries can never be mistaken for
-// current ones.
-const cellEncodingVersion = 1
+// current ones. v2: phased execution for the checkpointable apps —
+// warmup runs in its own parallel phase and knobs land at the phase
+// boundary, which moves every timing relative to v1.
+const cellEncodingVersion = 2
 
 // canonicalCell is the default-filled, deterministic encoding of one
 // cell. Field order is fixed by the struct, every knob appears as its
@@ -222,6 +221,7 @@ func (c CellSpec) Canonical(w *Workloads) ([]byte, error) {
 		return nil, err
 	}
 	cfg := machine.DefaultConfig(spec.Nodes)
+	spec.Knobs.apply(&cfg)
 	if spec.Mutate != nil {
 		spec.Mutate(&cfg)
 	}

@@ -175,7 +175,17 @@ type Spec struct {
 	// Protocol overrides the SVM protocol implied by Variant (used by
 	// the Figure 4 protocol comparison).
 	Protocol *svm.Protocol
-	// Knobs applied to the machine configuration.
+	// Knobs are the named machine-configuration what-ifs. For the
+	// checkpointable applications they are applied at the post-warmup
+	// phase boundary (identically in cold and prefix-shared runs);
+	// everywhere else at machine build time. Every knob is read at its
+	// point of use by the device layers, so the two are equivalent for
+	// non-phased apps.
+	Knobs Knobs
+	// Mutate applies arbitrary machine-configuration edits at build
+	// time. A non-nil Mutate disables phased execution and prefix
+	// sharing for the cell: the harness cannot know whether the edit is
+	// safe to defer past the warmup.
 	Mutate func(*machine.Config)
 	// Trace, when non-nil, attaches a fresh trace.Recorder to the cell's
 	// machine; the populated recorder comes back in Result.Trace.
@@ -218,9 +228,129 @@ func svmRegionBytes(a App, w *Workloads) int {
 	}
 }
 
+// phased reports whether a spec runs as warmup + body phases with a
+// checkpointable boundary in between. The four supported applications
+// always run phased (so cold runs and prefix-shared forks follow the
+// exact same event sequence); a build-time Mutate forces the old
+// single-phase path because its edits cannot be deferred.
+func (s Spec) phased() bool {
+	if s.Mutate != nil {
+		return false
+	}
+	switch s.App {
+	case BarnesSVM, OceanSVM, RadixSVM, RadixVMMC:
+		return true
+	}
+	return false
+}
+
+// resolveProto resolves the SVM protocol a spec runs: the variant
+// implies one (AU -> AURC, DU -> HLRC) and an explicit Protocol
+// overrides it — the same resolution Canonical encodes.
+func resolveProto(spec Spec) svm.Protocol {
+	proto := svm.AURC
+	if spec.Variant == VariantDU {
+		proto = svm.HLRC
+	}
+	if spec.Protocol != nil {
+		proto = *spec.Protocol
+	}
+	return proto
+}
+
+// phasedRun is a simulation warmed to its phase boundary: the machine
+// is quiescent, the app's processes are parked (finished their warmup
+// phase), and finish — the app's reattach hook — respawns them for the
+// body. It is the unit the prefix-sharing planner checkpoints.
+type phasedRun struct {
+	m      *machine.Machine
+	sys    *vmmc.System
+	shm    *svm.System // nil for non-SVM apps
+	finish func() sim.Time
+}
+
+// startPhased builds the machine with the as-built configuration (no
+// knobs — they land at the phase boundary) and runs the warmup prefix.
+func startPhased(spec Spec, w *Workloads) *phasedRun {
+	cfg := machine.DefaultConfig(spec.Nodes)
+	if spec.Trace != nil {
+		cfg.Trace = trace.NewRecorder(*spec.Trace)
+	}
+	m := machine.New(cfg)
+	sys := vmmc.NewSystem(m)
+	ps := &phasedRun{m: m, sys: sys}
+	switch spec.App {
+	case BarnesSVM, OceanSVM, RadixSVM:
+		scfg := svm.DefaultConfig(resolveProto(spec), svmRegionBytes(spec.App, w))
+		scfg.Combine = cfg.NIC.Combining
+		s := svm.New(sys, scfg)
+		ps.shm = s
+		switch spec.App {
+		case BarnesSVM:
+			ps.finish = barnes.StartSVM(s, w.BarnesSVM).Finish
+		case OceanSVM:
+			ps.finish = ocean.StartSVM(s, w.OceanSVM).Finish
+		default:
+			ps.finish = radix.StartSVM(s, w.Radix).Finish
+		}
+	case RadixVMMC:
+		mech := radix.AU
+		if spec.Variant == VariantDU {
+			mech = radix.DU
+		}
+		ps.finish = radix.StartVMMC(sys, mech, w.Radix).Finish
+	default:
+		panic("harness: startPhased on a non-phased app")
+	}
+	return ps
+}
+
+// applyKnobs applies a spec's knobs to the live machine at the phase
+// boundary: the config block, every NIC's private copy of it, and the
+// SVM layer's combining flag. Every knob is read at use time by the
+// engines, so this is equivalent to having built the machine with them
+// — for everything after the boundary, which is exactly where the
+// knobs under study act.
+func (ps *phasedRun) applyKnobs(spec Spec) {
+	spec.Knobs.apply(&ps.m.Cfg)
+	for _, nd := range ps.m.Nodes {
+		nd.NIC.SetConfig(ps.m.Cfg.NIC)
+	}
+	if ps.shm != nil {
+		ps.shm.SetCombine(ps.m.Cfg.NIC.Combining)
+	}
+}
+
+// collectResult assembles a Result from a finished machine.
+func collectResult(m *machine.Machine, elapsed sim.Time) Result {
+	res := Result{
+		Elapsed:   elapsed,
+		Breakdown: m.Acct.TotalBreakdown(),
+		Counters:  m.Acct.TotalCounters(),
+		Trace:     m.Cfg.Trace,
+	}
+	for _, nd := range m.Nodes {
+		if hw := nd.NIC.FIFOHighWater(); hw > res.FIFOHigh {
+			res.FIFOHigh = hw
+		}
+	}
+	if m.Cfg.Trace != nil {
+		m.Cfg.Trace.SetLinkUtil(m.Net.LinkUtil(m.E.Now()))
+	}
+	return res
+}
+
 // Run executes one spec and collects the account.
 func Run(spec Spec, w *Workloads) Result {
+	if spec.phased() {
+		ps := startPhased(spec, w)
+		defer ps.m.Close()
+		ps.applyKnobs(spec)
+		return collectResult(ps.m, ps.finish())
+	}
+
 	cfg := machine.DefaultConfig(spec.Nodes)
+	spec.Knobs.apply(&cfg)
 	if spec.Mutate != nil {
 		spec.Mutate(&cfg)
 	}
@@ -234,14 +364,7 @@ func Run(spec Spec, w *Workloads) Result {
 	var elapsed sim.Time
 	switch spec.App {
 	case BarnesSVM, OceanSVM, RadixSVM:
-		proto := svm.AURC
-		if spec.Variant == VariantDU {
-			proto = svm.HLRC
-		}
-		if spec.Protocol != nil {
-			proto = *spec.Protocol
-		}
-		scfg := svm.DefaultConfig(proto, svmRegionBytes(spec.App, w))
+		scfg := svm.DefaultConfig(resolveProto(spec), svmRegionBytes(spec.App, w))
 		scfg.Combine = cfg.NIC.Combining
 		s := svm.New(sys, scfg)
 		switch spec.App {
@@ -282,21 +405,7 @@ func Run(spec Spec, w *Workloads) Result {
 		}
 	}
 
-	res := Result{
-		Elapsed:   elapsed,
-		Breakdown: m.Acct.TotalBreakdown(),
-		Counters:  m.Acct.TotalCounters(),
-		Trace:     cfg.Trace,
-	}
-	for _, nd := range m.Nodes {
-		if hw := nd.NIC.FIFOHighWater(); hw > res.FIFOHigh {
-			res.FIFOHigh = hw
-		}
-	}
-	if cfg.Trace != nil {
-		cfg.Trace.SetLinkUtil(m.Net.LinkUtil(m.E.Now()))
-	}
-	return res
+	return collectResult(m, elapsed)
 }
 
 // BestVariant returns the variant with the better speedup for an app —

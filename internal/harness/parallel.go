@@ -27,6 +27,14 @@ func RunCells(ctx context.Context, cells []Spec, workers int, w *Workloads) []Re
 	return runCells(ctx, cells, workers, w, nil)
 }
 
+// RunCellsShared is RunCells with sweep prefix sharing: cells whose
+// warmup prefixes coincide run from one checkpointed machine instead of
+// each starting cold (see prefix.go). Results are byte-identical to
+// RunCells at any worker count.
+func RunCellsShared(ctx context.Context, cells []Spec, workers int, w *Workloads) []Result {
+	return runCellsShared(ctx, cells, workers, w, nil)
+}
+
 // runCells is the shared worker-pool body: RunCells plus an optional
 // per-cell completion callback. onDone is invoked once per finished cell
 // — concurrently, from pool goroutines, in completion order — so callers
@@ -102,6 +110,11 @@ type CellRunOpts struct {
 	// OnDone is invoked once per completed cell (hit or simulated),
 	// concurrently and in completion order; see runCells.
 	OnDone func(i int, r Result)
+	// SharePrefix groups checkpointable cells by their warmup prefix and
+	// runs each shared prefix once, forking a branch per cell from a
+	// checkpoint (see prefix.go). Results are byte-identical either way;
+	// this only changes how much simulation work the grid costs.
+	SharePrefix bool
 }
 
 // RunCellSpecs compiles serializable cell specs and executes them like
@@ -121,8 +134,12 @@ func RunCellSpecs(ctx context.Context, cells []CellSpec, w *Workloads, opts Cell
 		}
 		specs[i] = s
 	}
+	exec := runCells
+	if opts.SharePrefix {
+		exec = runCellsShared
+	}
 	if opts.Cache == nil {
-		return runCells(ctx, specs, opts.Workers, w, opts.OnDone), nil
+		return exec(ctx, specs, opts.Workers, w, opts.OnDone), nil
 	}
 
 	results := make([]Result, len(cells))
@@ -145,7 +162,7 @@ func RunCellSpecs(ctx context.Context, cells []CellSpec, w *Workloads, opts Cell
 		missSpecs = append(missSpecs, specs[i])
 		missIdx = append(missIdx, i)
 	}
-	runCells(ctx, missSpecs, opts.Workers, w, func(j int, r Result) {
+	exec(ctx, missSpecs, opts.Workers, w, func(j int, r Result) {
 		i := missIdx[j]
 		results[i] = r
 		opts.Cache.Put(keys[i], r)
@@ -193,8 +210,9 @@ func (cfg *Config) runCells(cells []CellSpec) []Result {
 		return results
 	}
 	results, err := RunCellSpecs(cfg.context(), cells, &cfg.Workloads, CellRunOpts{
-		Workers: cfg.Workers,
-		Cache:   cfg.Cache,
+		Workers:     cfg.Workers,
+		Cache:       cfg.Cache,
+		SharePrefix: cfg.SharePrefix,
 	})
 	if err != nil {
 		panic("harness: invalid experiment cell: " + err.Error())

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"shrimp/internal/checkpoint"
+)
+
+// Sweep prefix sharing. Cells of a what-if sweep differ only in knobs
+// that act after initialization and the first barrier, so their warmup
+// prefixes are identical simulations. The planner groups cells by a
+// prefix key — the canonical encoding of every spec field that affects
+// the warmup (app, nodes, resolved protocol or mechanism; the workload
+// is fixed per sweep) — runs each shared prefix once, checkpoints at
+// the phase boundary, and forks one branch per cell by restoring the
+// checkpoint and applying that cell's knobs. Because cold runs of
+// phased apps follow the exact same warmup-then-knobs sequence, a
+// forked branch is byte-identical to a from-scratch run; sharing is
+// invisible to golden checksums and the result cache.
+
+// prefixKey returns the warmup-grouping key for a spec, or "" when the
+// cell cannot share a prefix (non-phased app, build-time Mutate, or an
+// attached tracer, whose recorder must observe the cell's own warmup).
+func (s Spec) prefixKey() string {
+	if !s.phased() || s.Trace != nil {
+		return ""
+	}
+	switch s.App {
+	case BarnesSVM, OceanSVM, RadixSVM:
+		return fmt.Sprintf("%s|%d|%s", s.App, s.Nodes, resolveProto(s))
+	case RadixVMMC:
+		return fmt.Sprintf("%s|%d|%s", s.App, s.Nodes, s.Variant)
+	}
+	return ""
+}
+
+// runCellsShared executes cells like runCells but with prefix sharing:
+// shareable cells with the same prefix key form a group that runs its
+// warmup once; everything else runs cold. Units (groups and
+// singletons) run on the worker pool; branches within a group run
+// sequentially on one machine via checkpoint restore. Results are
+// written by original cell index, so output is byte-identical to
+// runCells at any worker count.
+func runCellsShared(ctx context.Context, cells []Spec, workers int, w *Workloads, onDone func(i int, r Result)) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result, len(cells))
+
+	groups := map[string][]int{}
+	var order []string // group keys in first-occurrence order
+	for i, s := range cells {
+		k := s.prefixKey()
+		if k == "" {
+			continue
+		}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	var units [][]int
+	shared := make([]bool, len(cells))
+	for _, k := range order {
+		idxs := groups[k]
+		if len(idxs) < 2 {
+			continue // a lone cell gains nothing from a checkpoint
+		}
+		units = append(units, idxs)
+		for _, i := range idxs {
+			shared[i] = true
+		}
+	}
+	for i := range cells {
+		if !shared[i] {
+			units = append(units, []int{i})
+		}
+	}
+	sort.Slice(units, func(a, b int) bool { return units[a][0] < units[b][0] })
+
+	runUnit := func(u []int) {
+		if len(u) == 1 {
+			i := u[0]
+			results[i] = Run(cells[i], w)
+			if onDone != nil {
+				onDone(i, results[i])
+			}
+			return
+		}
+		runSharedGroup(u, cells, w, results, onDone)
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		for _, u := range units {
+			if ctx.Err() != nil {
+				break
+			}
+			runUnit(u)
+		}
+		return results
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := next.Add(1)
+				if i >= int64(len(units)) {
+					return
+				}
+				runUnit(units[int(i)])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runSharedGroup runs one prefix group: warmup once, checkpoint, then
+// one restore-and-finish branch per cell.
+func runSharedGroup(idxs []int, cells []Spec, w *Workloads, results []Result, onDone func(i int, r Result)) {
+	ps := startPhased(cells[idxs[0]], w)
+	defer ps.m.Close()
+	ck, err := checkpoint.Take(ps.m, ps.sys, ps.shm)
+	if err != nil {
+		panic("harness: prefix checkpoint: " + err.Error())
+	}
+	for bi, i := range idxs {
+		if bi > 0 {
+			if err := ck.Restore(); err != nil {
+				panic("harness: prefix restore: " + err.Error())
+			}
+		}
+		if bi == len(idxs)-1 {
+			ck.Detach() // last branch: no more restores, so skip CoW capture
+		}
+		ps.applyKnobs(cells[i])
+		results[i] = collectResult(ps.m, ps.finish())
+		if onDone != nil {
+			onDone(i, results[i])
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"shrimp/internal/apps/ocean"
+	"shrimp/internal/checkpoint"
+	"shrimp/internal/machine"
+)
+
+// forkConfigs enumerates the sharing x worker grid every determinism
+// test below runs: prefix sharing off and on, serial and wide.
+var forkConfigs = []struct {
+	name    string
+	share   bool
+	workers int
+}{
+	{"cold-1", false, 1},
+	{"cold-8", false, 8},
+	{"share-1", true, 1},
+	{"share-8", true, 8},
+}
+
+// TestForkDeterminismExperiments pins the tentpole invariant on every
+// registered experiment: a branch forked from a shared warmup
+// checkpoint is byte-identical to a cold run — the rendered JSON rows
+// must not change with -share-prefix at any worker count.
+func TestForkDeterminismExperiments(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			var want []byte
+			for _, fc := range forkConfigs {
+				cfg := Config{Nodes: 4, Workloads: QuickWorkloads(),
+					Workers: fc.workers, SharePrefix: fc.share}
+				var buf bytes.Buffer
+				if err := EmitJSON(&buf, e.Name, e.Run(cfg)); err != nil {
+					t.Fatal(err)
+				}
+				if want == nil {
+					want = buf.Bytes()
+					continue
+				}
+				if !bytes.Equal(want, buf.Bytes()) {
+					t.Fatalf("%s: %s output diverges from cold-1:\nwant %s\ngot  %s",
+						e.Name, fc.name, want, buf.Bytes())
+				}
+			}
+		})
+	}
+}
+
+// sweepCells is a representative what-if sweep: each checkpointable
+// app under several post-warmup knobs (one shared warmup per app), plus
+// a non-shareable cell to cover the mixed-grid path.
+func sweepCells() []CellSpec {
+	var cells []CellSpec
+	for _, app := range []string{"radix-svm", "ocean-svm", "barnes-svm", "radix-vmmc"} {
+		cells = append(cells,
+			CellSpec{App: app, Nodes: 4},
+			CellSpec{App: app, Nodes: 4, Knobs: Knobs{SyscallPerSend: bptr(true)}},
+			CellSpec{App: app, Nodes: 4, Knobs: Knobs{InterruptPerMessage: bptr(true)}},
+			CellSpec{App: app, Nodes: 4, Knobs: Knobs{Combining: bptr(false)}},
+		)
+	}
+	return append(cells, CellSpec{App: "ocean-nx", Nodes: 4})
+}
+
+// TestForkDeterminismSweep pins Result equality (every field, not just
+// the rendered rows) across the sharing x worker grid on a
+// representative knob sweep.
+func TestForkDeterminismSweep(t *testing.T) {
+	wl := QuickWorkloads()
+	cells := sweepCells()
+	var want []Result
+	for _, fc := range forkConfigs {
+		got, err := RunCellSpecs(context.Background(), cells, &wl,
+			CellRunOpts{Workers: fc.workers, SharePrefix: fc.share})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: cell %d (%+v) diverges from cold-1:\nwant %+v\ngot  %+v",
+					fc.name, i, cells[i], want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestPrefixKeyEligibility pins which cells may share a warmup: phased
+// apps without build-time mutation or tracing group by app, size and
+// resolved protocol/mechanism; everything else runs cold.
+func TestPrefixKeyEligibility(t *testing.T) {
+	du := VariantDU
+	if k := (Spec{App: RadixSVM, Nodes: 4, Variant: VariantAU}).prefixKey(); k == "" {
+		t.Error("Radix-SVM should be shareable")
+	}
+	au := (Spec{App: RadixSVM, Nodes: 4, Variant: VariantAU}).prefixKey()
+	if k := (Spec{App: RadixSVM, Nodes: 4, Variant: du}).prefixKey(); k == au {
+		t.Error("different protocols must not share a warmup")
+	}
+	if k := (Spec{App: BarnesNX, Nodes: 4}).prefixKey(); k != "" {
+		t.Errorf("Barnes-NX is not checkpointable, got key %q", k)
+	}
+	mutated := Spec{App: RadixSVM, Nodes: 4, Variant: VariantAU}
+	mutated.Mutate = func(c *machine.Config) {}
+	if k := mutated.prefixKey(); k != "" {
+		t.Errorf("build-time Mutate must disable sharing, got key %q", k)
+	}
+}
+
+// knobSweep is a what-if sweep in the style of the paper's §4.5
+// studies: one app and size, n FIFO-capacity variants. Every cell
+// shares one warmup prefix, so sharing runs the warmup once instead
+// of n times.
+func knobSweep(app string, nodes, n int) []CellSpec {
+	cells := make([]CellSpec, 0, n)
+	for i := 0; i < n; i++ {
+		fifo := 4096 * (i + 1)
+		cells = append(cells, CellSpec{App: app, Nodes: nodes, Knobs: Knobs{
+			OutFIFOBytes:       iptr(fifo),
+			FIFOThresholdBytes: iptr(fifo * 3 / 4),
+			FIFOLowWaterBytes:  iptr(fifo / 4),
+		}})
+	}
+	return cells
+}
+
+// BenchmarkKnobSweep measures a 24-cell single-app knob sweep cold and
+// with prefix sharing — the headline speedup of this subsystem. The
+// workload is warmup-heavy on purpose: a 16-node machine whose
+// construction and init phase (cold page faults on every grid page)
+// cost more than the single relaxation iteration that follows, which
+// is exactly the regime a short what-if sweep over NIC knobs lives in.
+func BenchmarkKnobSweep(b *testing.B) {
+	wl := QuickWorkloads()
+	wl.OceanSVM = ocean.Params{N: 48, Iters: 1, CellCost: wl.OceanSVM.CellCost}
+	cells := knobSweep("ocean-svm", 16, 24)
+	for _, share := range []bool{false, true} {
+		name := "cold"
+		if share {
+			name = "shared"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunCellSpecs(context.Background(), cells, &wl,
+					CellRunOpts{Workers: 1, SharePrefix: share}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotTake measures the cost of capturing a full
+// checkpoint of a warmed-up 4-node Radix-SVM machine.
+func BenchmarkSnapshotTake(b *testing.B) {
+	wl := QuickWorkloads()
+	ps := startPhased(Spec{App: RadixSVM, Nodes: 4, Variant: VariantAU}, &wl)
+	defer ps.m.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := checkpoint.Take(ps.m, ps.sys, ps.shm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.Detach()
+	}
+}
+
+// BenchmarkFork measures the cost of rewinding to a checkpoint after a
+// full branch has run — the per-branch overhead of prefix sharing,
+// O(pages the branch dirtied).
+func BenchmarkFork(b *testing.B) {
+	wl := QuickWorkloads()
+	spec := Spec{App: RadixSVM, Nodes: 4, Variant: VariantAU}
+	ps := startPhased(spec, &wl)
+	defer ps.m.Close()
+	st, err := checkpoint.Take(ps.m, ps.sys, ps.shm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ps.applyKnobs(spec)
+		ps.finish() // dirty the state like a real branch (untimed)
+		b.StartTimer()
+		if err := st.Restore(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -125,6 +125,12 @@ type AddressSpace struct {
 	Snoop SnoopFunc
 	// Fault, if set, is invoked on protection violations.
 	Fault FaultFunc
+
+	// ck, when non-nil, is the active checkpoint: every write path
+	// captures a page's pristine contents before its first post-snapshot
+	// modification (see snapshot.go). Off the checkpointed path this is
+	// one nil check per write.
+	ck *Snapshot
 }
 
 // NewAddressSpace returns an empty address space. Page zero is left
@@ -180,6 +186,7 @@ func (as *AddressSpace) Release() {
 	as.arenas = nil
 	as.pages = nil
 	as.brk = 0
+	as.ck = nil
 }
 
 // Mapped reports whether vpn is a mapped page.
@@ -209,6 +216,9 @@ func (as *AddressSpace) PageData(vpn int) []byte {
 	as.check(vpn)
 	// The caller may write through the returned slice, so the page must
 	// be assumed dirty from here on.
+	if as.ck != nil {
+		as.ck.capture(vpn)
+	}
 	as.pages[vpn].dirty = true
 	return as.pages[vpn].data
 }
@@ -265,6 +275,9 @@ func (as *AddressSpace) Write(p *sim.Proc, addr Addr, buf []byte) {
 		vpn := addr.VPN()
 		as.ensure(p, vpn, true)
 		off := addr.Offset()
+		if as.ck != nil {
+			as.ck.capture(vpn)
+		}
 		as.pages[vpn].dirty = true
 		n := copy(as.pages[vpn].data[off:], buf)
 		if as.Snoop != nil {
@@ -294,6 +307,9 @@ func (as *AddressSpace) WriteUint32(p *sim.Proc, addr Addr, v uint32) {
 	as.ensure(p, vpn, true)
 	off := addr.Offset()
 	if off+4 <= PageSize {
+		if as.ck != nil {
+			as.ck.capture(vpn)
+		}
 		as.pages[vpn].dirty = true
 		binary.LittleEndian.PutUint32(as.pages[vpn].data[off:], v)
 		if as.Snoop != nil {
@@ -325,6 +341,9 @@ func (as *AddressSpace) WriteUint64(p *sim.Proc, addr Addr, v uint64) {
 	as.ensure(p, vpn, true)
 	off := addr.Offset()
 	if off+8 <= PageSize {
+		if as.ck != nil {
+			as.ck.capture(vpn)
+		}
 		as.pages[vpn].dirty = true
 		binary.LittleEndian.PutUint64(as.pages[vpn].data[off:], v)
 		if as.Snoop != nil {
@@ -360,6 +379,9 @@ func (as *AddressSpace) DMAWrite(addr Addr, buf []byte) {
 		vpn := addr.VPN()
 		as.check(vpn)
 		off := addr.Offset()
+		if as.ck != nil {
+			as.ck.capture(vpn)
+		}
 		as.pages[vpn].dirty = true
 		n := copy(as.pages[vpn].data[off:], buf)
 		buf = buf[n:]

@@ -1,6 +1,44 @@
 package nic
 
-import "testing"
+import (
+	"testing"
+
+	"shrimp/internal/memory"
+	"shrimp/internal/mesh"
+	"shrimp/internal/sim"
+	"shrimp/internal/stats"
+)
+
+// TestStartAllocationBound pins the one-time construction cost of the
+// NIC's continuation engines. Start binds, per engine, one dispatch
+// method, one resume continuation and one queue-delivery callback,
+// and parking each engine on its queue grows that queue's waiter list
+// once — twelve allocations for the three engines, independent of how
+// many steps each pipeline has. Binding a method value per step
+// instead cost ~70 extra allocations per machine build (BENCH_6.json);
+// this bound keeps that regression from creeping back.
+func TestStartAllocationBound(t *testing.T) {
+	const runs = 32
+	e := sim.NewEngine()
+	t.Cleanup(e.Shutdown)
+	mc := mesh.DefaultConfig()
+	mc.Width, mc.Height = 2, 1
+	net := mesh.New(e, mc)
+	nics := make([]*NIC, 0, runs+1)
+	for i := 0; i <= runs; i++ {
+		nics = append(nics, New(e, 0, net, memory.NewAddressSpace(),
+			sim.NewResource(e), &stats.Node{}, DefaultConfig()))
+	}
+	next := 0
+	avg := testing.AllocsPerRun(runs, func() {
+		nics[next].Start()
+		next++
+	})
+	if avg > 12 {
+		t.Fatalf("NIC.Start allocates %.1f objects, want <= 12 "+
+			"(three engines x (dispatch method + resume + delivery callback + queue park))", avg)
+	}
+}
 
 // TestAUEmitAllocationFree asserts the automatic-update path — snooped
 // store, combining buffer, packet emission, mesh transit, receive-side

@@ -33,6 +33,29 @@ const (
 	rxNext            // pump rxQueue: next packet inline, or park
 )
 
+// rxStep dispatches the receive engine's steps by index — the single
+// bound method its sequencer needs (sim.Seq.Init).
+//
+//shrimp:hotpath
+func (n *NIC) rxStep(pc int) sim.Ctl {
+	switch pc {
+	case rxPort:
+		return n.rxStepPort()
+	case rxSetup:
+		return n.rxStepSetup()
+	case rxClassify:
+		return n.rxStepClassify()
+	case rxDMA:
+		return n.rxStepDMA()
+	case rxLand:
+		return n.rxStepLand()
+	case rxDeliver:
+		return n.rxStepDeliver()
+	default:
+		return n.rxStepNext()
+	}
+}
+
 // rxBegin is the rxQueue delivery callback: it unwraps the mesh carrier
 // and starts the receive pipeline for one NIC packet.
 //

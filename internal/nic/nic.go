@@ -200,10 +200,13 @@ type NIC struct {
 	// Continuation engines. The three device engines are event-driven
 	// state machines (sim.Seq), not processes: their steps execute as
 	// inline fn events in whatever goroutine owns the engine, so a
-	// simulated packet costs zero goroutine handoffs. Built by Start.
-	rxSeq  *sim.Seq
-	duSeq  *sim.Seq
-	outSeq *sim.Seq
+	// simulated packet costs zero goroutine handoffs. Embedded by value
+	// and initialized by Start through one dispatch method each, so
+	// building a NIC costs two allocations per engine rather than one
+	// per step.
+	rxSeq  sim.Seq
+	duSeq  sim.Seq
+	outSeq sim.Seq
 
 	// In-flight engine state, the explicit continuation counterpart of
 	// what used to live in each service loop's stack frame.
@@ -284,14 +287,9 @@ func (n *NIC) Dropped() int64 { return n.dropped }
 // while the per-packet goroutine handoffs disappear. The engines serve
 // for the lifetime of the simulation.
 func (n *NIC) Start() {
-	n.duSeq = sim.NewSeq(n.e,
-		n.duStepSetup, n.duStepRead, n.duStepXfer,
-		n.duStepInject, n.duStepLink, n.duStepSend, n.duStepNext)
-	n.outSeq = sim.NewSeq(n.e,
-		n.outStepPort, n.outStepLink, n.outStepSend, n.outStepNext)
-	n.rxSeq = sim.NewSeq(n.e,
-		n.rxStepPort, n.rxStepSetup, n.rxStepClassify,
-		n.rxStepDMA, n.rxStepLand, n.rxStepDeliver, n.rxStepNext)
+	n.duSeq.Init(n.e, duNext+1, n.duStep)
+	n.outSeq.Init(n.e, outNext+1, n.outStep)
+	n.rxSeq.Init(n.e, rxNext+1, n.rxStep)
 	n.duRecvFn = n.duBegin
 	n.outRecvFn = n.outBegin
 	n.rxRecvFn = n.rxBegin

@@ -87,6 +87,29 @@ const (
 	duNext          // pump duQueue: next request inline, or park
 )
 
+// duStep dispatches the DU engine's steps by index — the single bound
+// method its sequencer needs (sim.Seq.Init).
+//
+//shrimp:hotpath
+func (n *NIC) duStep(pc int) sim.Ctl {
+	switch pc {
+	case duSetup:
+		return n.duStepSetup()
+	case duRead:
+		return n.duStepRead()
+	case duXfer:
+		return n.duStepXfer()
+	case duInject:
+		return n.duStepInject()
+	case duLink:
+		return n.duStepLink()
+	case duSend:
+		return n.duStepSend()
+	default:
+		return n.duStepNext()
+	}
+}
+
 // duBegin is the duQueue delivery callback: it accepts one transfer
 // request and starts the DMA pipeline.
 //
@@ -364,6 +387,23 @@ const (
 	outSend        // hand to the mesh; flow-control bookkeeping
 	outNext        // pump the FIFO: next packet inline, or park
 )
+
+// outStep dispatches the outgoing-FIFO drain's steps by index — the
+// single bound method its sequencer needs (sim.Seq.Init).
+//
+//shrimp:hotpath
+func (n *NIC) outStep(pc int) sim.Ctl {
+	switch pc {
+	case outPort:
+		return n.outStepPort()
+	case outLink:
+		return n.outStepLink()
+	case outSend:
+		return n.outStepSend()
+	default:
+		return n.outStepNext()
+	}
+}
 
 // outBegin is the FIFO delivery callback: it accepts one queued packet
 // and starts the injection pipeline.

@@ -33,9 +33,15 @@ const Wait Ctl = -1
 // deliberate-update and outgoing-FIFO engines are the canonical users
 // (internal/nic).
 type Seq struct {
-	steps []func() Ctl
-	e     *Engine
-	pc    int
+	// step dispatches one step by index; n bounds the valid range. The
+	// single-dispatch representation lets a device bind its whole step
+	// table with ONE method value (Init) instead of one closure per
+	// step — construction cost that showed up as +70 allocs per machine
+	// build when each NIC engine carried a bound method per step.
+	step func(pc int) Ctl
+	n    int
+	e    *Engine
+	pc   int
 	// resumeFn is the pre-built bound resume method handed to async
 	// primitives, materialized once so arming a wait allocates nothing.
 	resumeFn func()
@@ -44,9 +50,20 @@ type Seq struct {
 // NewSeq builds a sequencer over steps, which run on engine e. The
 // steps slice is captured, not copied.
 func NewSeq(e *Engine, steps ...func() Ctl) *Seq {
-	s := &Seq{e: e, steps: steps}
-	s.resumeFn = s.resume
+	s := &Seq{e: e}
+	s.Init(e, len(steps), func(pc int) Ctl { return steps[pc]() })
 	return s
+}
+
+// Init readies a (typically embedded) sequencer in place: n steps, each
+// dispatched through step — usually one bound method switching on the
+// index. Initializing by dispatch function costs two allocations total
+// (step and the resume continuation) regardless of step count.
+func (s *Seq) Init(e *Engine, n int, step func(pc int) Ctl) {
+	s.e = e
+	s.n = n
+	s.step = step
+	s.resumeFn = s.resume
 }
 
 // Start runs the sequence beginning at step pc, continuing inline until
@@ -60,9 +77,9 @@ func (s *Seq) Start(pc int) { s.run(pc) }
 //
 //shrimp:hotpath
 func (s *Seq) run(pc int) {
-	for pc >= 0 && pc < len(s.steps) {
+	for pc >= 0 && pc < s.n {
 		s.pc = pc
-		pc = int(s.steps[pc]())
+		pc = int(s.step(pc))
 	}
 }
 

@@ -27,12 +27,23 @@ go build -o "$BIN/shrimpbench" ./cmd/shrimpbench
 for p in 1 4; do
     "$BIN/shrimpbench" -exp all -quick -parallel "$p" >"$WORK/text.$p"
     "$BIN/shrimpbench" -exp all -quick -parallel "$p" -json >"$WORK/json.$p"
+    "$BIN/shrimpbench" -exp all -quick -parallel "$p" -share-prefix >"$WORK/text.share.$p"
+    "$BIN/shrimpbench" -exp all -quick -parallel "$p" -share-prefix -json >"$WORK/json.share.$p"
 done
 for kind in text json; do
     if ! cmp -s "$WORK/$kind.1" "$WORK/$kind.4"; then
         echo "golden: $kind output differs between -parallel 1 and -parallel 4" >&2
         exit 1
     fi
+    # Sweep prefix sharing must be invisible: a branch forked from a
+    # shared warmup checkpoint is byte-identical to a cold run.
+    for p in 1 4; do
+        if ! cmp -s "$WORK/$kind.1" "$WORK/$kind.share.$p"; then
+            echo "golden: $kind output differs with -share-prefix -parallel $p" >&2
+            diff "$WORK/$kind.1" "$WORK/$kind.share.$p" | head -20 >&2
+            exit 1
+        fi
+    done
 done
 
 digest() { sha256sum "$1" | cut -d' ' -f1; }
@@ -59,4 +70,4 @@ if [ "$NEW" != "$(cat "$GOLDEN")" ]; then
     echo "together with an explanation of the behavioral change." >&2
     exit 1
 fi
-echo "golden: output matches $GOLDEN (text+json, -parallel 1 and 4)"
+echo "golden: output matches $GOLDEN (text+json, -parallel 1 and 4, -share-prefix on/off)"
