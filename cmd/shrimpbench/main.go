@@ -11,7 +11,7 @@
 // Usage:
 //
 //	shrimpbench [-exp list|all|table1|figure3|figure4svm|figure4audu|table2|
-//	             table3|table4|combining|fifo|duqueue|perpacket|latency]
+//	             table3|table4|combining|fifo|duqueue|perpacket|latency|load]
 //	            [-nodes N] [-quick] [-parallel N] [-share-prefix] [-json]
 //	            [-trace FILE] [-trace-ndjson FILE] [-trace-filter KINDS]
 //	            [-trace-max N] [-metrics]
@@ -92,7 +92,11 @@ func main() {
 	for _, e := range strings.Split(*exp, ",") {
 		selected[strings.TrimSpace(e)] = true
 	}
-	want := func(name string) bool { return selected["all"] || selected[name] }
+	// Hidden experiments (the load family) run only when named: "all"
+	// keeps meaning the golden-pinned paper sweep.
+	want := func(e harness.Experiment) bool {
+		return selected[e.Name] || (selected["all"] && !e.Hidden)
+	}
 	ran := false
 	w := io.Writer(os.Stdout)
 
@@ -105,7 +109,7 @@ func main() {
 	// rendered as a pretty table normally, or newline-delimited JSON
 	// records under -json.
 	for _, e := range harness.Experiments() {
-		if !want(e.Name) {
+		if !want(e) {
 			continue
 		}
 		ran = true

@@ -16,6 +16,17 @@
 //	          [-parallel N] [-share-prefix] [-quick]
 //	          [-trace FILE] [-trace-ndjson FILE] [-trace-filter KINDS]
 //	          [-trace-max N] [-metrics]
+//
+// Alternatively, -load drives a service with open-loop traffic
+// (internal/workload) instead of running a batch application:
+//
+//	shrimpsim -load rpc/polling|rpc/notified|socket/du|socket/au|dfs/du
+//	          [-offered MULT] [-nodes N] [-quick]
+//	          [-load-record FILE | -load-replay FILE]
+//
+// -load-record writes the generated request trace to FILE before
+// replaying it; -load-replay skips generation and replays a previously
+// recorded artifact (byte-identical report, by construction).
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 	"shrimp/internal/prof"
 	"shrimp/internal/stats"
 	"shrimp/internal/trace"
+	"shrimp/internal/workload"
 )
 
 func main() {
@@ -54,8 +66,18 @@ func main() {
 	traceFilter := flag.String("trace-filter", "", "comma-separated event kinds to trace (default: all)")
 	traceMax := flag.Int("trace-max", 1<<20, "max trace events kept per app (0 = unlimited)")
 	metrics := flag.Bool("metrics", false, "print per-app latency histograms and link utilization")
+	loadConfig := flag.String("load", "", "drive a service with open-loop traffic instead of -app "+
+		"(rpc/polling, rpc/notified, socket/du, socket/au, dfs/du)")
+	offered := flag.Float64("offered", 1, "offered-load multiplier for -load")
+	loadRecord := flag.String("load-record", "", "write the generated request trace to this file (-load)")
+	loadReplay := flag.String("load-replay", "", "replay a recorded request trace from this file (-load)")
 	profFlags := prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *loadConfig != "" {
+		runLoad(*loadConfig, *nodes, *offered, *quick, *loadRecord, *loadReplay)
+		return
+	}
 
 	stopProf, err := profFlags.Start()
 	if err != nil {
@@ -192,6 +214,66 @@ func writeTraces(chromePath, ndjsonPath string, recs []*trace.Recorder, labels [
 }
 
 func ptr[T any](v T) *T { return &v }
+
+// runLoad executes one open-loop load cell: generate (or replay) the
+// request trace, drive the service, print the report.
+func runLoad(config string, nodes int, offered float64, quick bool, record, replay string) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "shrimpsim: %v\n", err)
+		os.Exit(1)
+	}
+	if record != "" && replay != "" {
+		fail(fmt.Errorf("-load-record and -load-replay are mutually exclusive"))
+	}
+	params := harness.DefaultLoadParams()
+	if quick {
+		params = harness.QuickLoadParams()
+	}
+	cell := harness.LoadCell{Config: config, Nodes: nodes, Offered: offered, Params: params}
+
+	var tr *workload.Trace
+	if replay != "" {
+		f, err := os.Open(replay)
+		if err != nil {
+			fail(err)
+		}
+		tr, err = workload.Decode(bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		if tr.Nodes != nodes {
+			fail(fmt.Errorf("trace %s was recorded for %d nodes; pass -nodes %d", replay, tr.Nodes, tr.Nodes))
+		}
+	} else {
+		var err error
+		if tr, err = cell.GenerateTrace(); err != nil {
+			fail(err)
+		}
+		if record != "" {
+			f, err := os.Create(record)
+			if err != nil {
+				fail(err)
+			}
+			err = tr.Encode(f)
+			if err2 := f.Close(); err == nil {
+				err = err2
+			}
+			if err != nil {
+				fail(fmt.Errorf("writing %s: %w", record, err))
+			}
+			fmt.Printf("recorded %d requests to %s\n", len(tr.Reqs), record)
+		}
+	}
+
+	rows, err := harness.RunLoadTrace(cell, tr)
+	if err != nil {
+		fail(err)
+	}
+	cfg := harness.DefaultExperimentConfig()
+	cfg.Nodes = nodes
+	harness.PrintLoad(os.Stdout, cfg, rows)
+}
 
 func report(app harness.App, nodes int, wl *harness.Workloads, res harness.Result) {
 	fmt.Printf("%s on %d nodes (%s)\n", app, nodes, wl.SizeString(app))

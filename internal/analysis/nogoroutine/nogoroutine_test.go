@@ -15,6 +15,7 @@ func TestNogoroutine(t *testing.T) {
 		"shrimp/internal/nic",
 		"shrimp/internal/machine",
 		"shrimp/internal/checkpoint",
+		"shrimp/internal/workload",
 		"shrimp/internal/harness",
 	)
 }

@@ -1,0 +1,28 @@
+// Package workload is a Spawn-confinement fixture standing in for the
+// open-loop traffic generator: drivers must be engine processes
+// spawned through the machine's handler hooks, never host goroutines
+// or direct engine spawns.
+package workload
+
+import "shrimp/internal/sim"
+
+type driver struct{ e *sim.Engine }
+
+func (d *driver) badHostFanout(streams int) {
+	for i := 0; i < streams; i++ {
+		go func() {}() // want `go statement outside the scheduler allowlist`
+	}
+}
+
+func (d *driver) badDirectSpawn() {
+	d.e.Spawn("load-stream", func(p *sim.Proc) {}) // want `sim\.Engine\.Spawn outside the process allowlist`
+}
+
+// okPureGeneration: trace generation is plain sequential code.
+func okPureGeneration(n int) []int64 {
+	at := make([]int64, n)
+	for i := 1; i < n; i++ {
+		at[i] = at[i-1] + 100
+	}
+	return at
+}

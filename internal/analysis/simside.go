@@ -25,6 +25,7 @@ var simSidePkgs = map[string]bool{
 	"socketlib":  true,
 	"stats":      true,
 	"apps":       true, // and all subpackages
+	"workload":   true, // open-loop traffic generator: drivers run inside the simulated machine
 }
 
 // hostSidePkgs names the packages that are explicitly host-side: they

@@ -18,6 +18,7 @@ func TestBoundaryClassification(t *testing.T) {
 		{"shrimp/internal/apps/barnes", true, false},
 		{"shrimp/internal/trace", true, false},
 		{"shrimp/internal/checkpoint", true, false},
+		{"shrimp/internal/workload", true, false},
 
 		{"shrimp/internal/server", false, true},
 		{"shrimp/internal/server/sub", false, true},

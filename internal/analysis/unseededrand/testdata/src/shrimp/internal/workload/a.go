@@ -1,0 +1,33 @@
+// Package workload is an unseededrand fixture standing in for the
+// open-loop traffic generator: every arrival draw must come from a
+// stream seeded by the experiment cell, never the global generator.
+package workload
+
+import "math/rand"
+
+func badInterarrival() float64 {
+	return rand.Float64() // want `math/rand\.Float64 uses the globally-seeded generator`
+}
+
+func badShuffleStreams(n int) {
+	rand.Shuffle(n, func(i, j int) {}) // want `math/rand\.Shuffle uses the globally-seeded generator`
+	_ = rand.Intn(n)                   // want `math/rand\.Intn uses the globally-seeded generator`
+}
+
+func badConstSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `math/rand\.NewSource with a constant seed`
+}
+
+// okStreamSeed mirrors the real package's splitmix-style derivation:
+// the seed is a function of the cell key and stream id, so a replay of
+// the same cell regenerates the identical trace.
+func okStreamSeed(base uint64, stream int) uint64 {
+	z := base + uint64(stream)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func okSeededRand(base uint64, stream int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(okStreamSeed(base, stream))))
+}

@@ -10,6 +10,7 @@ import (
 func TestUnseededrand(t *testing.T) {
 	analysistest.Run(t, "testdata", unseededrand.Analyzer,
 		"shrimp/internal/apps/randapp",
+		"shrimp/internal/workload",
 		"shrimp/internal/harness",
 	)
 }

@@ -1,0 +1,23 @@
+// Package workload is a walltime fixture standing in for the
+// open-loop traffic generator: arrivals are simulated-clock instants,
+// so reading the host clock would leak nondeterminism into the trace.
+package workload
+
+import "time"
+
+// Time mirrors the simulator's virtual clock type.
+type Time int64
+
+func badArrivalStamp() Time {
+	return Time(time.Now().UnixNano()) // want `time\.Now reads the wall clock`
+}
+
+func badPacing() {
+	time.Sleep(time.Microsecond) // want `time\.Sleep reads the wall clock`
+	_ = time.Since(time.Time{})  // want `time\.Since reads the wall clock`
+}
+
+func okVirtualArrival(start, gap Time, n int) Time {
+	// Arrival instants are pure arithmetic on the virtual clock.
+	return start + gap*Time(n)
+}

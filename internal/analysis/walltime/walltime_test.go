@@ -11,6 +11,7 @@ func TestWalltime(t *testing.T) {
 	analysistest.Run(t, "testdata", walltime.Analyzer,
 		"shrimp/internal/sim",
 		"shrimp/internal/checkpoint",
+		"shrimp/internal/workload",
 		"shrimp/internal/harness",
 	)
 }

@@ -42,7 +42,21 @@ func DefaultParams() Params {
 	}
 }
 
-const dfsPort = 100
+// Port is the well-known port the DFS block service listens on.
+const Port = 100
+
+const dfsPort = Port
+
+// Home returns the node a block is striped to.
+func Home(file, idx, nprocs int) int { return (file*7 + idx) % nprocs }
+
+// BlockContent deterministically generates a file block — the
+// in-memory store lookup every server performs. Exported so external
+// drivers (internal/workload) can verify blocks end to end.
+func BlockContent(file, idx, size int) []byte { return blockContent(file, idx, size) }
+
+// BlockSum is the expected checksum of a block.
+func BlockSum(b []byte) uint64 { return blockSum(b) }
 
 // blockContent deterministically generates a file block.
 func blockContent(file, idx, size int) []byte {
@@ -123,25 +137,9 @@ func Run(sys *vmmc.System, cfg socketlib.Config, pr Params) sim.Time {
 	}
 
 	// Block home assignment: stripe across all nodes.
-	home := func(file, idx int) int { return (file*7 + idx) % nprocs }
+	home := func(file, idx int) int { return Home(file, idx, nprocs) }
 
-	// Servers: one listener per node, serving each accepted connection
-	// in its own handler process (a server thread competing with the
-	// client thread for the node's CPU).
-	if nprocs > 1 {
-		for nIdx := 0; nIdx < nprocs; nIdx++ {
-			nd := m.Nodes[nIdx]
-			l := stack.Listen(nIdx, dfsPort)
-			nd.SpawnHandler(fmt.Sprintf("dfs-accept@%d", nIdx), func(p *sim.Proc, c *machine.CPU) {
-				for {
-					conn := l.Accept(p)
-					nd.SpawnHandler(fmt.Sprintf("dfs-serve@%d", nIdx), func(p *sim.Proc, c *machine.CPU) {
-						serveConn(p, c, nd, conn, pr)
-					})
-				}
-			})
-		}
-	}
+	StartServers(sys, stack, pr)
 
 	totalClients := nclients
 	elapsed := m.RunParallel("dfs", func(nd *machine.Node, p *sim.Proc) {
@@ -152,6 +150,40 @@ func Run(sys *vmmc.System, cfg socketlib.Config, pr Params) sim.Time {
 		runClient(p, stack, nd, rank, nprocs, home, pr)
 	})
 	return elapsed
+}
+
+// StartServers spawns the block service on every node: one listener
+// per node, each accepted connection served in its own handler process
+// (a server thread competing with that node's client thread for the
+// CPU). On a single node there is nothing to serve remotely and no
+// servers start. Exported so the open-loop workload generator can
+// drive the same service the batch workload uses.
+func StartServers(sys *vmmc.System, stack *socketlib.Stack, pr Params) {
+	m := sys.M
+	nprocs := len(sys.EPs)
+	if nprocs <= 1 {
+		return
+	}
+	for nIdx := 0; nIdx < nprocs; nIdx++ {
+		nd := m.Nodes[nIdx]
+		l := stack.Listen(nIdx, dfsPort)
+		nd.SpawnHandler(fmt.Sprintf("dfs-accept@%d", nIdx), func(p *sim.Proc, c *machine.CPU) {
+			for {
+				conn := l.Accept(p)
+				nd.SpawnHandler(fmt.Sprintf("dfs-serve@%d", nIdx), func(p *sim.Proc, c *machine.CPU) {
+					serveConn(p, c, nd, conn, pr)
+				})
+			}
+		})
+	}
+}
+
+// ServeConn answers block requests on one connection until the peer
+// goes quiet forever (the serving process then stays parked). It is
+// the exported form of the per-connection server loop, reused by the
+// open-loop workload driver.
+func ServeConn(p *sim.Proc, c *machine.CPU, nd *machine.Node, conn *socketlib.Conn, pr Params) {
+	serveConn(p, c, nd, conn, pr)
 }
 
 // serveConn answers block requests on one connection.

@@ -98,6 +98,8 @@ type Workloads struct {
 	BarnesNX  barnes.Params
 	DFS       dfs.Params
 	Render    render.Params
+	// Load sizes the open-loop traffic experiments (internal/workload).
+	Load LoadParams
 	// Note documents the scaling relative to the paper's sizes.
 	Note string
 }
@@ -119,6 +121,7 @@ func DefaultWorkloads() Workloads {
 	w.BarnesNX.Steps = 4
 	w.DFS = dfs.DefaultParams()
 	w.Render = render.DefaultParams()
+	w.Load = DefaultLoadParams()
 	return w
 }
 
@@ -137,6 +140,7 @@ func QuickWorkloads() Workloads {
 	w.DFS.CacheBlocks = 10
 	w.Render = render.Params{VolumeDim: 12, ImageSize: 32, TileSize: 8,
 		SampleCost: w.Render.SampleCost}
+	w.Load = QuickLoadParams()
 	return w
 }
 

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"shrimp/internal/workload"
+)
+
+func quickLoadCell(config string) LoadCell {
+	return LoadCell{Config: config, Nodes: 4, Offered: 2, Params: QuickLoadParams()}
+}
+
+// TestLoadRecordReplay pins the trace artifact contract: a recorded
+// trace decodes and replays to the identical report rows.
+func TestLoadRecordReplay(t *testing.T) {
+	for _, config := range loadConfigs {
+		c := quickLoadCell(config)
+		tr, err := c.GenerateTrace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var artifact bytes.Buffer
+		if err := tr.Encode(&artifact); err != nil {
+			t.Fatal(err)
+		}
+		direct, err := RunLoadTrace(c, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := workload.Decode(bytes.NewReader(artifact.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := RunLoadTrace(c, decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b bytes.Buffer
+		if err := EmitJSON(&a, "load", direct); err != nil {
+			t.Fatal(err)
+		}
+		if err := EmitJSON(&b, "load", replayed); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s: replay of recorded trace diverges:\n%s\nvs\n%s", config, a.String(), b.String())
+		}
+	}
+}
+
+// TestLoadSweepDeterministicText pins the rendered report (the golden
+// loadtext digest's invariant) across worker counts, complementing the
+// JSON check TestForkDeterminismExperiments runs on the registry.
+func TestLoadSweepDeterministicText(t *testing.T) {
+	render := func(workers int) string {
+		cfg := Config{Nodes: 4, Workloads: QuickWorkloads(), Workers: workers}
+		var buf bytes.Buffer
+		PrintLoad(&buf, cfg, LoadSweep(cfg))
+		return buf.String()
+	}
+	serial := render(1)
+	if wide := render(8); wide != serial {
+		t.Fatalf("load sweep text differs between workers=1 and workers=8:\n%s\nvs\n%s", serial, wide)
+	}
+	if len(serial) == 0 {
+		t.Fatal("empty load report")
+	}
+}
+
+// TestLoadCellSeedsDiffer pins that the trace is a function of the full
+// cell identity: changing any coordinate changes the generated trace.
+func TestLoadCellSeedsDiffer(t *testing.T) {
+	base := quickLoadCell("rpc/polling")
+	variants := []LoadCell{
+		{Config: "rpc/notified", Nodes: base.Nodes, Offered: base.Offered, Params: base.Params},
+		{Config: base.Config, Nodes: 8, Offered: base.Offered, Params: base.Params},
+		{Config: base.Config, Nodes: base.Nodes, Offered: 4, Params: base.Params},
+	}
+	enc := func(c LoadCell) string {
+		tr, err := c.GenerateTrace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	want := enc(base)
+	if again := enc(base); again != want {
+		t.Fatal("GenerateTrace is not deterministic for a fixed cell")
+	}
+	for _, v := range variants {
+		if enc(v) == want {
+			t.Errorf("cell %+v generated the same trace as the base cell", v)
+		}
+	}
+}
+
+// TestLoadCellValidation covers the error paths.
+func TestLoadCellValidation(t *testing.T) {
+	bad := []LoadCell{
+		{Config: "telnet/du", Nodes: 4, Offered: 1, Params: QuickLoadParams()},
+		{Config: "rpc/polling", Nodes: 0, Offered: 1, Params: QuickLoadParams()},
+		{Config: "rpc/polling", Nodes: 4, Offered: 0, Params: QuickLoadParams()},
+	}
+	for _, c := range bad {
+		if _, err := RunLoadCell(c); err == nil {
+			t.Errorf("RunLoadCell accepted invalid cell %+v", c)
+		}
+	}
+}
+
+// TestLoadClassTotals checks the metric-export aggregation.
+func TestLoadClassTotals(t *testing.T) {
+	cfg := Config{Nodes: 4, Workloads: QuickWorkloads(), Workers: 4}
+	rows := LoadSweep(cfg)
+	classes, reqs, bytesBy, soj := LoadClassTotals(rows)
+	if len(classes) == 0 {
+		t.Fatal("no classes aggregated")
+	}
+	for _, name := range classes {
+		if reqs[name] <= 0 || bytesBy[name] <= 0 {
+			t.Errorf("class %s: empty totals (%d reqs, %d bytes)", name, reqs[name], bytesBy[name])
+		}
+		if soj[name] == nil || soj[name].Count() != reqs[name] {
+			t.Errorf("class %s: merged histogram count mismatch", name)
+		}
+	}
+}

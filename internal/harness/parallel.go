@@ -88,6 +88,54 @@ func runCells(ctx context.Context, cells []Spec, workers int, w *Workloads, onDo
 	return results
 }
 
+// forEachCell runs fn(i) for every index in [0, n) on a pool of
+// workers, the same shape as runCells: workers <= 0 selects GOMAXPROCS,
+// one worker degenerates to a serial loop, and cancelling ctx stops
+// picking up new indexes at the next boundary. Callers write results by
+// index, so output is deterministic at any width. It exists for grids
+// that are not app cells (the open-loop load sweep) — this file is the
+// concurrency allowlist, so the pool lives here.
+func forEachCell(ctx context.Context, n, workers int, fn func(i int)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := next.Add(1)
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // CellCache is a content-addressed store of cell results, keyed by the
 // canonical cell encoding (CellSpec.Canonical). The simulator is
 // byte-deterministic, so a cell's Result is a pure function of its

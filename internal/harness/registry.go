@@ -24,6 +24,11 @@ type Experiment struct {
 	Run func(cfg Config) any
 	// Print renders the rows as the human-readable report table.
 	Print func(w io.Writer, cfg Config, rows any)
+	// Hidden excludes the experiment from "-exp all" (and the implied
+	// golden sweep) while keeping it addressable by name. New experiment
+	// families start hidden so their output is pinned by their own
+	// digests instead of perturbing the long-lived all-sweep ones.
+	Hidden bool
 }
 
 // experimentList is the catalog in report order.
@@ -124,6 +129,15 @@ var experimentList = []Experiment{
 		Run:   func(cfg Config) any { return DUQueue(cfg) },
 		Print: func(w io.Writer, cfg Config, rows any) {
 			PrintDUQueue(w, rows.([]DUQueueRow))
+		},
+	},
+	{
+		Name:   "load",
+		Desc:   "Open-loop traffic: goodput vs offered load per service class (internal/workload)",
+		Hidden: true,
+		Run:    func(cfg Config) any { return LoadSweep(cfg) },
+		Print: func(w io.Writer, cfg Config, rows any) {
+			PrintLoad(w, cfg, rows.([]LoadRow))
 		},
 	},
 	{

@@ -109,6 +109,24 @@ type Client struct {
 	req *ring.Ring
 	rep *ring.Ring
 	seq uint32
+
+	calls    int64
+	bytesOut int64
+	bytesIn  int64
+}
+
+// ClientStats counts a client's completed calls and the bytes moved on
+// its request and reply streams, headers included — the measured wire
+// payload the open-loop workload reports goodput from.
+type ClientStats struct {
+	Calls    int64
+	BytesOut int64
+	BytesIn  int64
+}
+
+// Stats returns the client's call and byte counters.
+func (cl *Client) Stats() ClientStats {
+	return ClientStats{Calls: cl.calls, BytesOut: cl.bytesOut, BytesIn: cl.bytesIn}
 }
 
 // Connect builds the two streams between a client endpoint and a
@@ -228,5 +246,8 @@ func (cl *Client) Call(p *sim.Proc, proc int, args []byte) []byte {
 	if n > 0 {
 		cl.rep.ReadFull(p, result)
 	}
+	cl.calls++
+	cl.bytesOut += int64(len(msg))
+	cl.bytesIn += int64(len(hdr) + n)
 	return result
 }

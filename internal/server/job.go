@@ -276,6 +276,7 @@ func (s *Server) runExperimentJob(ctx context.Context, j *job) error {
 	if ctx.Err() != nil {
 		return nil // canceled: partial rows are meaningless, emit nothing
 	}
+	s.recordLoadRows(rows)
 	var buf bytes.Buffer
 	if err := harness.EmitJSON(&buf, e.Name, rows); err != nil {
 		return err

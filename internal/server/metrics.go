@@ -3,10 +3,12 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"shrimp/internal/harness"
 	"shrimp/internal/trace"
 )
 
@@ -27,6 +29,15 @@ type metrics struct {
 	histMu    sync.Mutex
 	queueWait trace.Hist // ns from submit to start
 	jobDur    trace.Hist // ns from start to done (successful jobs)
+
+	// Open-loop load metrics, fed by completed load-experiment jobs:
+	// cumulative per-class request/byte counters and sojourn summaries,
+	// plus the most recent sweep's goodput-vs-offered-load curve.
+	loadMu      sync.Mutex
+	loadReqs    map[string]int64
+	loadBytes   map[string]int64
+	loadSojourn map[string]*trace.Hist
+	loadRows    []harness.LoadRow
 }
 
 func (s *Server) observeQueueWait(d time.Duration) {
@@ -39,6 +50,37 @@ func (s *Server) observeJobDuration(d time.Duration) {
 	s.met.histMu.Lock()
 	s.met.jobDur.Record(d.Nanoseconds())
 	s.met.histMu.Unlock()
+}
+
+// recordLoadRows folds one completed load sweep into the daemon's load
+// metrics. rows is the experiment's opaque row value; anything that is
+// not a load row slice is ignored, so the job runner can call this on
+// every experiment result unconditionally.
+func (s *Server) recordLoadRows(rows any) {
+	loadRows, ok := rows.([]harness.LoadRow)
+	if !ok || len(loadRows) == 0 {
+		return
+	}
+	classes, reqs, bytes, soj := harness.LoadClassTotals(loadRows)
+	m := &s.met
+	m.loadMu.Lock()
+	defer m.loadMu.Unlock()
+	if m.loadReqs == nil {
+		m.loadReqs = map[string]int64{}
+		m.loadBytes = map[string]int64{}
+		m.loadSojourn = map[string]*trace.Hist{}
+	}
+	for _, class := range classes {
+		m.loadReqs[class] += reqs[class]
+		m.loadBytes[class] += bytes[class]
+		h, ok := m.loadSojourn[class]
+		if !ok {
+			h = &trace.Hist{}
+			m.loadSojourn[class] = h
+		}
+		h.Merge(soj[class])
+	}
+	m.loadRows = loadRows
 }
 
 // handleMetrics renders Prometheus text exposition format. Counter
@@ -81,4 +123,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	trace.WritePromSummary(w, "shrimpd_job_queue_wait_ns", "", &qw)
 	fmt.Fprintf(w, "# HELP shrimpd_job_duration_ns wall time of successful jobs\n# TYPE shrimpd_job_duration_ns summary\n")
 	trace.WritePromSummary(w, "shrimpd_job_duration_ns", "", &jd)
+
+	s.writeLoadMetrics(w)
+}
+
+// writeLoadMetrics renders the open-loop load section of the scrape:
+// cumulative per-class traffic counters and sojourn summaries, plus the
+// last sweep's offered/goodput curve as labeled gauges. Class iteration
+// uses LoadClassTotals' sorted keys, so the exposition is deterministic.
+func (s *Server) writeLoadMetrics(w http.ResponseWriter) {
+	m := &s.met
+	m.loadMu.Lock()
+	defer m.loadMu.Unlock()
+	if m.loadReqs == nil {
+		return
+	}
+	classes := make([]string, 0, len(m.loadReqs))
+	for class := range m.loadReqs {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+
+	fmt.Fprintf(w, "# HELP shrimpd_load_requests_total open-loop requests completed, by class\n# TYPE shrimpd_load_requests_total counter\n")
+	for _, class := range classes {
+		fmt.Fprintf(w, "shrimpd_load_requests_total{class=%q} %d\n", class, m.loadReqs[class])
+	}
+	fmt.Fprintf(w, "# HELP shrimpd_load_bytes_total open-loop wire bytes moved, by class\n# TYPE shrimpd_load_bytes_total counter\n")
+	for _, class := range classes {
+		fmt.Fprintf(w, "shrimpd_load_bytes_total{class=%q} %d\n", class, m.loadBytes[class])
+	}
+	fmt.Fprintf(w, "# HELP shrimpd_load_sojourn_ns simulated request sojourn time, by class\n# TYPE shrimpd_load_sojourn_ns summary\n")
+	for _, class := range classes {
+		trace.WritePromSummary(w, "shrimpd_load_sojourn_ns", fmt.Sprintf("class=%q", class), m.loadSojourn[class])
+	}
+
+	fmt.Fprintf(w, "# HELP shrimpd_load_offered_mbps last sweep's offered load per row\n# TYPE shrimpd_load_offered_mbps gauge\n")
+	for _, r := range m.loadRows {
+		fmt.Fprintf(w, "shrimpd_load_offered_mbps{config=%q,class=%q,offered=\"%g\"} %g\n",
+			r.Config, r.Class, r.Offered, r.OfferedMBps)
+	}
+	fmt.Fprintf(w, "# HELP shrimpd_load_goodput_mbps last sweep's delivered goodput per row\n# TYPE shrimpd_load_goodput_mbps gauge\n")
+	for _, r := range m.loadRows {
+		fmt.Fprintf(w, "shrimpd_load_goodput_mbps{config=%q,class=%q,offered=\"%g\"} %g\n",
+			r.Config, r.Class, r.Offered, r.GoodputMBps)
+	}
 }

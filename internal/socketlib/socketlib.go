@@ -54,6 +54,20 @@ func NewStack(sys *vmmc.System, cfg Config) *Stack {
 type Conn struct {
 	localNode, peerNode int
 	tx, rx              *ring.Ring
+	bytesIn, bytesOut   int64
+}
+
+// ConnStats counts the bytes that moved through one end of a
+// connection, framing included — the measured wire payload the
+// open-loop workload reports goodput from.
+type ConnStats struct {
+	BytesIn  int64
+	BytesOut int64
+}
+
+// Stats returns this end's byte counters.
+func (c *Conn) Stats() ConnStats {
+	return ConnStats{BytesIn: c.bytesIn, BytesOut: c.bytesOut}
 }
 
 // LocalNode reports the node this end lives on.
@@ -65,15 +79,23 @@ func (c *Conn) PeerNode() int { return c.peerNode }
 // Write sends data, blocking for socket-buffer space as needed.
 func (c *Conn) Write(p *sim.Proc, data []byte) int {
 	c.tx.Write(p, data)
+	c.bytesOut += int64(len(data))
 	return len(data)
 }
 
 // Read receives up to len(buf) bytes, blocking until at least one
 // arrives.
-func (c *Conn) Read(p *sim.Proc, buf []byte) int { return c.rx.Read(p, buf) }
+func (c *Conn) Read(p *sim.Proc, buf []byte) int {
+	n := c.rx.Read(p, buf)
+	c.bytesIn += int64(n)
+	return n
+}
 
 // ReadFull receives exactly len(buf) bytes.
-func (c *Conn) ReadFull(p *sim.Proc, buf []byte) { c.rx.ReadFull(p, buf) }
+func (c *Conn) ReadFull(p *sim.Proc, buf []byte) {
+	c.rx.ReadFull(p, buf)
+	c.bytesIn += int64(len(buf))
+}
 
 // Available reports bytes readable without blocking.
 func (c *Conn) Available(p *sim.Proc) int { return c.rx.Available(p) }
@@ -85,17 +107,17 @@ func (c *Conn) Available(p *sim.Proc) int { return c.rx.Available(p) }
 func (c *Conn) WriteBlock(p *sim.Proc, data []byte) {
 	var hdr [8]byte
 	putUint64(hdr[:], uint64(len(data)))
-	c.tx.Write(p, hdr[:])
-	c.tx.Write(p, data)
+	c.Write(p, hdr[:])
+	c.Write(p, data)
 }
 
 // ReadBlock retrieves one block sent with WriteBlock.
 func (c *Conn) ReadBlock(p *sim.Proc) []byte {
 	var hdr [8]byte
-	c.rx.ReadFull(p, hdr[:])
+	c.ReadFull(p, hdr[:])
 	n := getUint64(hdr[:])
 	data := make([]byte, n)
-	c.rx.ReadFull(p, data)
+	c.ReadFull(p, data)
 	return data
 }
 

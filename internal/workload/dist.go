@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist kinds. Every kind is parameterized by its mean so offered-load
+// scaling is one multiplication regardless of shape.
+const (
+	// DistDet is the degenerate distribution: every sample is Mean.
+	DistDet = "det"
+	// DistPoisson models a Poisson arrival process: exponential
+	// samples with the given mean (CV 1).
+	DistPoisson = "poisson"
+	// DistGamma is a gamma distribution with shape k = Shape scaled to
+	// the given mean (CV 1/sqrt(k); k < 1 is burstier than Poisson).
+	DistGamma = "gamma"
+	// DistWeibull is a Weibull distribution with shape k = Shape
+	// scaled to the given mean (k < 1 gives a heavy tail).
+	DistWeibull = "weibull"
+	// DistUniform is uniform on [Mean*(1-h), Mean*(1+h)] with
+	// half-width fraction h = Shape (default 0.5).
+	DistUniform = "uniform"
+)
+
+// Dist describes one scalar distribution of a workload spec —
+// interarrival gaps in nanoseconds or request sizes in bytes.
+type Dist struct {
+	Kind string `json:"kind"`
+	// Mean is the distribution mean (> 0).
+	Mean float64 `json:"mean"`
+	// Shape is the gamma/Weibull shape parameter, or the uniform
+	// half-width fraction; ignored by det and poisson.
+	Shape float64 `json:"shape,omitempty"`
+}
+
+// Validate checks the parameters.
+func (d Dist) Validate() error {
+	if d.Mean <= 0 {
+		return fmt.Errorf("workload: dist %q mean must be > 0, got %g", d.Kind, d.Mean)
+	}
+	switch d.Kind {
+	case DistDet, DistPoisson:
+		return nil
+	case DistGamma, DistWeibull:
+		if d.Shape <= 0 {
+			return fmt.Errorf("workload: dist %q needs shape > 0, got %g", d.Kind, d.Shape)
+		}
+		return nil
+	case DistUniform:
+		if d.Shape < 0 || d.Shape > 1 {
+			return fmt.Errorf("workload: uniform half-width must be in [0,1], got %g", d.Shape)
+		}
+		return nil
+	}
+	return fmt.Errorf("workload: unknown dist kind %q", d.Kind)
+}
+
+// deterministic reports whether every sample equals Mean.
+func (d Dist) deterministic() bool {
+	return d.Kind == DistDet || (d.Kind == DistUniform && d.Shape == 0)
+}
+
+// CV returns the theoretical coefficient of variation (used by the
+// distribution-correctness tests).
+func (d Dist) CV() float64 {
+	switch d.Kind {
+	case DistPoisson:
+		return 1
+	case DistGamma:
+		return 1 / math.Sqrt(d.Shape)
+	case DistWeibull:
+		k := d.Shape
+		m1 := math.Gamma(1 + 1/k)
+		m2 := math.Gamma(1 + 2/k)
+		return math.Sqrt(m2/(m1*m1) - 1)
+	case DistUniform:
+		h := d.Shape
+		if h == 0 {
+			h = 0.5
+		}
+		return h / math.Sqrt(3)
+	}
+	return 0
+}
+
+// Sample draws one value. The number of generator draws per sample
+// depends only on (Kind, Shape, the drawn values), never on the caller,
+// so a stream's sequence is reproducible from its seed alone.
+func (d Dist) Sample(r *RNG) float64 {
+	switch d.Kind {
+	case DistPoisson:
+		return d.Mean * expSample(r)
+	case DistGamma:
+		return d.Mean * gammaSample(r, d.Shape) / d.Shape
+	case DistWeibull:
+		k := d.Shape
+		scale := d.Mean / math.Gamma(1+1/k)
+		return scale * math.Pow(expSample(r), 1/k)
+	case DistUniform:
+		h := d.Shape
+		if h == 0 {
+			h = 0.5
+		}
+		return d.Mean * (1 + h*(2*r.Float64()-1))
+	}
+	return d.Mean // det
+}
+
+// expSample draws Exp(1). 1-u is in (0, 1], so the log is finite.
+func expSample(r *RNG) float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// normSample draws N(0, 1) by Box-Muller.
+func normSample(r *RNG) float64 {
+	u := 1 - r.Float64()
+	v := r.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+}
+
+// gammaSample draws Gamma(k, 1) by Marsaglia-Tsang squeeze, with the
+// standard boost for k < 1.
+func gammaSample(r *RNG, k float64) float64 {
+	if k < 1 {
+		// Gamma(k) = Gamma(k+1) * U^(1/k).
+		return gammaSample(r, k+1) * math.Pow(r.Float64(), 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := normSample(r)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// sampleMoments draws n samples and returns (mean, cv).
+func sampleMoments(t *testing.T, d Dist, seed uint64, n int) (float64, float64) {
+	t.Helper()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("invalid dist %+v: %v", d, err)
+	}
+	r := NewRNG(seed)
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		if x < 0 {
+			t.Fatalf("%s sample %d negative: %g", d.Kind, i, x)
+		}
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance) / mean
+}
+
+func TestDistMoments(t *testing.T) {
+	const n = 200000
+	cases := []Dist{
+		{Kind: DistPoisson, Mean: 100},
+		{Kind: DistGamma, Mean: 250, Shape: 0.5},
+		{Kind: DistGamma, Mean: 250, Shape: 4},
+		{Kind: DistWeibull, Mean: 80, Shape: 0.7},
+		{Kind: DistWeibull, Mean: 80, Shape: 2},
+		{Kind: DistUniform, Mean: 128, Shape: 0.5},
+	}
+	for _, d := range cases {
+		mean, cv := sampleMoments(t, d, 12345, n)
+		if relErr := math.Abs(mean-d.Mean) / d.Mean; relErr > 0.02 {
+			t.Errorf("%s shape=%g: sample mean %.2f vs %g (rel err %.3f)",
+				d.Kind, d.Shape, mean, d.Mean, relErr)
+		}
+		want := d.CV()
+		if math.Abs(cv-want)/want > 0.05 {
+			t.Errorf("%s shape=%g: sample CV %.3f vs theoretical %.3f",
+				d.Kind, d.Shape, cv, want)
+		}
+	}
+}
+
+func TestDeterministicDist(t *testing.T) {
+	d := Dist{Kind: DistDet, Mean: 42}
+	r := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if x := d.Sample(r); x != 42 {
+			t.Fatalf("det sample %d: %g, want 42", i, x)
+		}
+	}
+	if cv := d.CV(); cv != 0 {
+		t.Errorf("det CV %g, want 0", cv)
+	}
+}
+
+func TestDistDrawsDeterministic(t *testing.T) {
+	// Same seed must reproduce identical draws; different seeds must not.
+	d := Dist{Kind: DistGamma, Mean: 100, Shape: 2}
+	a, b := NewRNG(99), NewRNG(99)
+	c := NewRNG(100)
+	same, diff := true, true
+	for i := 0; i < 64; i++ {
+		x, y, z := d.Sample(a), d.Sample(b), d.Sample(c)
+		if x != y {
+			same = false
+		}
+		if x == z {
+			diff = false
+		}
+	}
+	if !same {
+		t.Error("same seed produced different draw sequences")
+	}
+	if !diff {
+		t.Error("different seeds produced identical draw sequences")
+	}
+}
+
+func TestDistValidate(t *testing.T) {
+	bad := []Dist{
+		{Kind: DistPoisson, Mean: 0},
+		{Kind: DistGamma, Mean: 10, Shape: 0},
+		{Kind: DistWeibull, Mean: 10, Shape: -1},
+		{Kind: DistUniform, Mean: 10, Shape: 1.5},
+		{Kind: "zipf", Mean: 10},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", d)
+		}
+	}
+}
+
+func TestStreamSeedsDistinct(t *testing.T) {
+	base := SeedFromKey([]byte("cell-key"))
+	seen := map[uint64]bool{}
+	for s := 0; s < 256; s++ {
+		sd := StreamSeed(base, s)
+		if seen[sd] {
+			t.Fatalf("stream %d: duplicate seed %#x", s, sd)
+		}
+		seen[sd] = true
+	}
+	if StreamSeed(base, 0) != StreamSeed(base, 0) {
+		t.Error("StreamSeed not deterministic")
+	}
+	if SeedFromKey([]byte("cell-key")) != base {
+		t.Error("SeedFromKey not deterministic")
+	}
+	if SeedFromKey([]byte("other-key")) == base {
+		t.Error("distinct keys share a seed")
+	}
+}

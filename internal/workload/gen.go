@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"sort"
+
+	"shrimp/internal/apps/dfs"
+	"shrimp/internal/sim"
+)
+
+// Generate materializes a spec's full request schedule. It is a pure
+// function of (spec, seed): no simulation state is consulted, which is
+// what makes the workload open-loop — arrivals cannot depend on how
+// the service keeps up — and what makes record/replay and cross-worker
+// determinism trivial. Each stream draws from its own generator
+// (StreamSeed), in a fixed order per request: interarrival gap, size,
+// then any service-specific draws. Requests are returned sorted by
+// (At, Stream); within one stream arrivals are strictly increasing.
+func Generate(spec *Spec, seed uint64) (*Trace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	tr := &Trace{Service: spec.Service, Nodes: spec.Nodes}
+	total := 0
+	for _, c := range spec.Classes {
+		tr.Classes = append(tr.Classes, ClassInfo{
+			Name: c.Name, Streams: c.Streams, RespBytes: c.RespBytes,
+		})
+		total += c.Streams * c.Requests
+	}
+	tr.Reqs = make([]Request, 0, total)
+
+	stream := 0
+	for ci, c := range spec.Classes {
+		for s := 0; s < c.Streams; s++ {
+			r := NewRNG(StreamSeed(seed, stream))
+			var t sim.Time
+			for k := 0; k < c.Requests; k++ {
+				gap := int64(c.Interarrival.Sample(r) + 0.5)
+				if gap < 1 {
+					gap = 1
+				}
+				t += sim.Time(gap)
+				size := int64(c.Size.Sample(r) + 0.5)
+				if size < 1 {
+					size = 1
+				}
+				if size > maxRequestBytes {
+					size = maxRequestBytes
+				}
+				rq := Request{
+					At:     t,
+					Stream: int32(stream),
+					Class:  int32(ci),
+					Size:   int32(size),
+				}
+				switch spec.Service {
+				case DFS:
+					file := r.Intn(spec.DFSFiles)
+					idx := r.Intn(spec.DFSBlocksPerFile)
+					rq.Tag = uint64(file)<<32 | uint64(idx)
+					rq.Target = int32(dfs.Home(file, idx, spec.Nodes))
+				default:
+					rq.Target = int32(streamTarget(spec.Service, spec.Nodes, stream))
+				}
+				tr.Reqs = append(tr.Reqs, rq)
+			}
+			stream++
+		}
+	}
+	// (At, Stream) is unique: within a stream arrivals strictly
+	// increase, so the sort is a total order and the result is
+	// independent of generation order.
+	sort.Slice(tr.Reqs, func(i, j int) bool {
+		a, b := tr.Reqs[i], tr.Reqs[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		return a.Stream < b.Stream
+	})
+	return tr, nil
+}

@@ -1,0 +1,316 @@
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"shrimp/internal/apps/dfs"
+	"shrimp/internal/machine"
+	"shrimp/internal/rpc"
+	"shrimp/internal/sim"
+	"shrimp/internal/socketlib"
+	"shrimp/internal/stats"
+	"shrimp/internal/trace"
+	"shrimp/internal/vmmc"
+)
+
+// Port is the socket service port the open-loop driver binds (distinct
+// from dfs.Port so both services could coexist on one machine).
+const Port = 200
+
+// ServiceConfig carries the server-side build parameters a trace does
+// not: transport sizing, dispatch mode and modeled costs.
+type ServiceConfig struct {
+	// RPC configures the RPC server (dispatch, ring size, base service
+	// cost) for RPC traces.
+	RPC rpc.Config
+	// Socket configures the sockets stack (AU/DU mode, combining, ring
+	// size) for Socket and DFS traces.
+	Socket socketlib.Config
+	// ClientCost models per-request client-side processing of the
+	// response (parsing, checksumming) charged after each completion.
+	ClientCost sim.Time
+}
+
+// DefaultServiceConfig returns the library defaults plus a small
+// client-side per-request cost.
+func DefaultServiceConfig() ServiceConfig {
+	return ServiceConfig{
+		RPC:        rpc.DefaultConfig(),
+		Socket:     socketlib.DefaultConfig(),
+		ClientCost: 5 * sim.Microsecond,
+	}
+}
+
+// streamState is one stream's driver state.
+type streamState struct {
+	id     int
+	class  int
+	client int
+	reqs   []Request
+}
+
+// Run replays a trace against live servers on the simulated machine
+// and reports open-loop metrics. The machine must be freshly built
+// with exactly tr.Nodes nodes. One driver process per stream releases
+// each request at its scheduled arrival — or immediately after the
+// stream's previous request completes, when the stream has fallen
+// behind — so a saturated service accumulates backlog instead of
+// slowing the generator down. Sojourn time is measured from the
+// scheduled arrival, backlog included.
+func Run(sys *vmmc.System, cfg ServiceConfig, tr *Trace) (*Report, error) {
+	m := sys.M
+	n := len(sys.EPs)
+	if n != tr.Nodes {
+		return nil, fmt.Errorf("workload: trace wants %d nodes, machine has %d", tr.Nodes, n)
+	}
+	if (tr.Service == RPC || tr.Service == Socket) && n < 2 {
+		return nil, fmt.Errorf("workload: %s trace needs >= 2 nodes", tr.Service)
+	}
+
+	// Partition the schedule by stream; Reqs are (At, Stream)-sorted,
+	// so each stream's slice stays in arrival order.
+	nstreams := tr.Streams()
+	streams := make([]*streamState, nstreams)
+	for s := range streams {
+		streams[s] = &streamState{
+			id:     s,
+			class:  tr.ClassOf(s),
+			client: streamClient(tr.Service, n, s),
+		}
+	}
+	maxSize := 0
+	for _, rq := range tr.Reqs {
+		streams[rq.Stream].reqs = append(streams[rq.Stream].reqs, rq)
+		if int(rq.Size) > maxSize {
+			maxSize = int(rq.Size)
+		}
+	}
+
+	// Per-class accumulators. The simulation engine interleaves driver
+	// processes one at a time, so plain shared slices are safe and the
+	// record order is deterministic (Hist is order-independent anyway).
+	hists := make([]*trace.Hist, len(tr.Classes))
+	for i := range hists {
+		hists[i] = &trace.Hist{}
+	}
+	bytesByClass := make([]int64, len(tr.Classes))
+	reqsByClass := make([]int64, len(tr.Classes))
+
+	issue := buildService(sys, cfg, tr, streams, maxSize)
+
+	done := 0
+	allDone := sim.NewCond(m.E)
+	start := m.E.Now()
+	for _, st := range streams {
+		st := st
+		nd := m.Nodes[st.client]
+		nd.SpawnHandler(fmt.Sprintf("load-stream%d@%d", st.id, st.client),
+			func(p *sim.Proc, c *machine.CPU) {
+				for _, rq := range st.reqs {
+					at := start + rq.At
+					if p.Now() < at {
+						p.SleepUntil(at)
+					}
+					moved := issue(p, c, st, rq)
+					if cfg.ClientCost > 0 {
+						c.Charge(cfg.ClientCost)
+					}
+					c.Flush(p)
+					hists[rq.Class].Record(int64(p.Now() - at))
+					bytesByClass[rq.Class] += moved
+					reqsByClass[rq.Class]++
+				}
+				done++
+				allDone.Broadcast()
+			})
+	}
+
+	// The application processes just wait for the service to drain:
+	// RunParallel's makespan is then the last completion (plus any
+	// trailing transport housekeeping).
+	elapsed := m.RunParallel("load", func(nd *machine.Node, p *sim.Proc) {
+		cpu := nd.CPUFor(p)
+		since := cpu.BeginWait(p)
+		for done < nstreams {
+			allDone.Wait(p)
+		}
+		cpu.EndWait(p, stats.Comm, since)
+	})
+
+	rep := &Report{Elapsed: elapsed, Horizon: tr.Horizon()}
+	for ci, c := range tr.Classes {
+		rep.Classes = append(rep.Classes, ClassStats{
+			Class:    c.Name,
+			Requests: reqsByClass[ci],
+			Bytes:    bytesByClass[ci],
+			Sojourn:  hists[ci],
+		})
+	}
+	return rep, nil
+}
+
+// issueFn performs one request on behalf of a stream, returning the
+// bytes moved on the wire (framing included).
+type issueFn func(p *sim.Proc, c *machine.CPU, st *streamState, rq Request) int64
+
+// buildService starts the trace's service on the machine (setup time:
+// the engine has not run yet) and returns the per-request issue
+// function. Server processes are handler processes that park forever
+// once the offered load drains, exactly like the batch DFS servers.
+func buildService(sys *vmmc.System, cfg ServiceConfig, tr *Trace, streams []*streamState, maxSize int) issueFn {
+	switch tr.Service {
+	case RPC:
+		return buildRPC(sys, cfg, tr, streams)
+	case Socket:
+		return buildSocket(sys, cfg, tr, streams, maxSize)
+	default:
+		return buildDFS(sys, cfg, tr, streams, maxSize)
+	}
+}
+
+// buildRPC registers one procedure per request class on a server at
+// node 0 and connects one client stub per stream.
+func buildRPC(sys *vmmc.System, cfg ServiceConfig, tr *Trace, streams []*streamState) issueFn {
+	m := sys.M
+	srv := rpc.NewServer(sys.EP(0), cfg.RPC)
+	for ci, cl := range tr.Classes {
+		resp := make([]byte, cl.RespBytes)
+		srv.Register(ci, func(p *sim.Proc, cpu *machine.CPU, args []byte) []byte {
+			// The service body: touch the arguments, build the reply.
+			cpu.Charge(m.Cfg.Cost.CopyTime(len(args) + len(resp)))
+			return resp
+		})
+	}
+	if cfg.RPC.Dispatch == rpc.Polling {
+		nd := m.Nodes[0]
+		nd.SpawnHandler("load-rpc-serve@0", func(p *sim.Proc, c *machine.CPU) {
+			srv.Serve(p)
+		})
+	}
+	clients := make([]*rpc.Client, len(streams))
+	for s := range streams {
+		clients[s] = rpc.Connect(sys.EP(streams[s].client), srv)
+	}
+	args := make([]byte, maxArgs(tr))
+	return func(p *sim.Proc, c *machine.CPU, st *streamState, rq Request) int64 {
+		cl := clients[st.id]
+		before := cl.Stats()
+		cl.Call(p, int(rq.Class), args[:rq.Size])
+		after := cl.Stats()
+		return (after.BytesIn - before.BytesIn) + (after.BytesOut - before.BytesOut)
+	}
+}
+
+// maxArgs returns the largest request payload of a trace (for the
+// shared argument buffer).
+func maxArgs(tr *Trace) int {
+	max := 1
+	for _, rq := range tr.Reqs {
+		if int(rq.Size) > max {
+			max = int(rq.Size)
+		}
+	}
+	return max
+}
+
+// socketReqBytes is the bulk-service request frame: size, class, tag.
+const socketReqBytes = 16
+
+// buildSocket starts one bulk server per upper-half node; each
+// accepted connection is served by its own handler process answering
+// 16-byte (size, class, tag) requests with a size-byte block.
+func buildSocket(sys *vmmc.System, cfg ServiceConfig, tr *Trace, streams []*streamState, maxSize int) issueFn {
+	m := sys.M
+	stack := socketlib.NewStack(sys, cfg.Socket)
+	payload := make([]byte, maxSize)
+	for _, sn := range serverNodes(Socket, tr.Nodes) {
+		nd := m.Nodes[sn]
+		l := stack.Listen(sn, Port)
+		nd.SpawnHandler(fmt.Sprintf("load-accept@%d", sn), func(p *sim.Proc, c *machine.CPU) {
+			for {
+				conn := l.Accept(p)
+				nd.SpawnHandler(fmt.Sprintf("load-serve@%d", sn), func(p *sim.Proc, c *machine.CPU) {
+					for {
+						req := conn.ReadBlock(p)
+						if len(req) != socketReqBytes {
+							panic("workload: malformed bulk request")
+						}
+						size := int(binary.LittleEndian.Uint32(req[0:]))
+						c.Charge(nd.M.Cfg.Cost.CopyTime(size))
+						conn.WriteBlock(p, payload[:size])
+					}
+				})
+			}
+		})
+	}
+	conns := make([]*socketlib.Conn, len(streams))
+	return func(p *sim.Proc, c *machine.CPU, st *streamState, rq Request) int64 {
+		conn := conns[st.id]
+		if conn == nil {
+			conn = stack.Dial(p, st.client, int(rq.Target), Port)
+			conns[st.id] = conn
+		}
+		before := conn.Stats()
+		var req [socketReqBytes]byte
+		binary.LittleEndian.PutUint32(req[0:], uint32(rq.Size))
+		binary.LittleEndian.PutUint32(req[4:], uint32(rq.Class))
+		binary.LittleEndian.PutUint64(req[8:], rq.Tag)
+		conn.WriteBlock(p, req[:])
+		blk := conn.ReadBlock(p)
+		if len(blk) != int(rq.Size) {
+			panic("workload: bulk response size mismatch")
+		}
+		after := conn.Stats()
+		return (after.BytesIn - before.BytesIn) + (after.BytesOut - before.BytesOut)
+	}
+}
+
+// buildDFS starts the DFS block service on every node and issues
+// (file, idx) reads over per-stream connections, exactly the batch DFS
+// client protocol. Blocks homed on the stream's own node are served
+// from local memory.
+func buildDFS(sys *vmmc.System, cfg ServiceConfig, tr *Trace, streams []*streamState, maxSize int) issueFn {
+	m := sys.M
+	// The DFS wire protocol carries no size: the service is built with
+	// one block size, which the trace must agree on.
+	for _, rq := range tr.Reqs {
+		if int(rq.Size) != maxSize {
+			panic(fmt.Sprintf("workload: dfs trace mixes block sizes (%d and %d)", rq.Size, maxSize))
+		}
+	}
+	pr := dfs.Params{BlockSize: maxSize}
+	stack := socketlib.NewStack(sys, cfg.Socket)
+	dfs.StartServers(sys, stack, pr)
+	conns := make([][]*socketlib.Conn, len(streams))
+	for i := range conns {
+		conns[i] = make([]*socketlib.Conn, tr.Nodes)
+	}
+	return func(p *sim.Proc, c *machine.CPU, st *streamState, rq Request) int64 {
+		file := int(rq.Tag >> 32)
+		idx := int(rq.Tag & 0xFFFFFFFF)
+		home := int(rq.Target)
+		if home == st.client || tr.Nodes == 1 {
+			// Local stripe: the "disk" read is a memory lookup.
+			_ = dfs.BlockContent(file, idx, maxSize)
+			c.Charge(m.Cfg.Cost.CopyTime(maxSize))
+			return int64(maxSize)
+		}
+		conn := conns[st.id][home]
+		if conn == nil {
+			conn = stack.Dial(p, st.client, home, dfs.Port)
+			conns[st.id][home] = conn
+		}
+		before := conn.Stats()
+		var req [8]byte
+		binary.LittleEndian.PutUint32(req[0:], uint32(file))
+		binary.LittleEndian.PutUint32(req[4:], uint32(idx))
+		conn.WriteBlock(p, req[:])
+		blk := conn.ReadBlock(p)
+		if dfs.BlockSum(blk) != dfs.BlockSum(dfs.BlockContent(file, idx, maxSize)) {
+			panic(fmt.Sprintf("workload: dfs block %d/%d corrupted in transit", file, idx))
+		}
+		after := conn.Stats()
+		return (after.BytesIn - before.BytesIn) + (after.BytesOut - before.BytesOut)
+	}
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"shrimp/internal/machine"
+	"shrimp/internal/rpc"
+	"shrimp/internal/sim"
+	"shrimp/internal/vmmc"
+)
+
+func socketSpec(nodes int) *Spec {
+	return &Spec{
+		Service: Socket,
+		Nodes:   nodes,
+		Classes: []Class{{
+			Name: "bulk", Streams: 4, Requests: 15,
+			Interarrival: Dist{Kind: DistGamma, Mean: float64(300 * sim.Microsecond), Shape: 0.5},
+			Size:         Dist{Kind: DistGamma, Mean: 2048, Shape: 4},
+		}},
+	}
+}
+
+// runTrace builds a fresh machine and replays tr on it.
+func runTrace(t *testing.T, cfg ServiceConfig, tr *Trace) *Report {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(tr.Nodes))
+	t.Cleanup(m.Close)
+	rep, err := Run(vmmc.NewSystem(m), cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// renderReport flattens a report (histograms included) for equality
+// comparison across runs.
+func renderReport(rep *Report) string {
+	s := fmt.Sprintf("elapsed=%d horizon=%d\n", rep.Elapsed, rep.Horizon)
+	for _, c := range rep.Classes {
+		s += fmt.Sprintf("%s n=%d bytes=%d p50=%d p90=%d p99=%d max=%d sum=%d\n",
+			c.Class, c.Requests, c.Bytes,
+			c.Sojourn.Quantile(0.50), c.Sojourn.Quantile(0.90),
+			c.Sojourn.Quantile(0.99), c.Sojourn.Max(), c.Sojourn.Sum())
+	}
+	return s
+}
+
+func checkReport(t *testing.T, spec *Spec, rep *Report) {
+	t.Helper()
+	if len(rep.Classes) != len(spec.Classes) {
+		t.Fatalf("report has %d classes, spec %d", len(rep.Classes), len(spec.Classes))
+	}
+	for i, c := range rep.Classes {
+		want := int64(spec.Classes[i].Streams * spec.Classes[i].Requests)
+		if c.Requests != want {
+			t.Errorf("class %s: %d requests completed, want %d", c.Class, c.Requests, want)
+		}
+		if c.Bytes <= 0 {
+			t.Errorf("class %s: no bytes recorded", c.Class)
+		}
+		if c.Sojourn.Count() != want {
+			t.Errorf("class %s: histogram count %d, want %d", c.Class, c.Sojourn.Count(), want)
+		}
+		if c.Sojourn.Min() <= 0 {
+			t.Errorf("class %s: sojourn min %d, want > 0", c.Class, c.Sojourn.Min())
+		}
+	}
+	if rep.Elapsed < rep.Horizon {
+		t.Errorf("elapsed %d before last arrival %d", rep.Elapsed, rep.Horizon)
+	}
+}
+
+func TestRunServices(t *testing.T) {
+	cases := []struct {
+		name string
+		spec *Spec
+		cfg  func() ServiceConfig
+	}{
+		{"rpc-polling", rpcSpec(4), DefaultServiceConfig},
+		{"rpc-notified", rpcSpec(4), func() ServiceConfig {
+			cfg := DefaultServiceConfig()
+			cfg.RPC.Dispatch = rpc.Notified
+			return cfg
+		}},
+		{"socket", socketSpec(4), DefaultServiceConfig},
+		{"dfs", dfsSpec(4), DefaultServiceConfig},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := Generate(tc.spec, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := runTrace(t, tc.cfg(), tr)
+			checkReport(t, tc.spec, rep)
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	for _, spec := range []*Spec{rpcSpec(4), socketSpec(4), dfsSpec(4)} {
+		tr, err := Generate(spec, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := renderReport(runTrace(t, DefaultServiceConfig(), tr))
+		b := renderReport(runTrace(t, DefaultServiceConfig(), tr))
+		if a != b {
+			t.Errorf("%s: two runs of one trace diverged:\n%s\nvs\n%s", spec.Service, a, b)
+		}
+	}
+}
+
+func TestRunRejectsNodeMismatch(t *testing.T) {
+	tr, err := Generate(rpcSpec(4), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.DefaultConfig(2))
+	t.Cleanup(m.Close)
+	if _, err := Run(vmmc.NewSystem(m), DefaultServiceConfig(), tr); err == nil {
+		t.Fatal("Run accepted a machine with the wrong node count")
+	}
+}

@@ -1,0 +1,316 @@
+// Package workload drives the simulated SHRIMP machine like a service
+// rather than a batch job: an open-loop traffic generator produces
+// multi-client request streams with seeded interarrival and size
+// distributions, replays them against server processes built from the
+// repo's service libraries (internal/rpc, internal/socketlib,
+// internal/apps/dfs), and reports sojourn-time tails and goodput
+// versus offered load.
+//
+// Open loop means arrivals are scheduled ahead of time, independent of
+// service completions: a slow server does not throttle the generator,
+// it grows the backlog — which is what exposes the saturation knee a
+// closed-loop workload can never show. Concretely, Generate computes
+// the entire arrival trace as a pure function of (spec, seed) before
+// the simulation starts; each stream's driver releases request k at
+// its scheduled time (or immediately after request k-1 completes, if
+// the stream is backlogged) and records sojourn time = completion -
+// scheduled arrival, which includes the time spent queued behind the
+// stream's own backlog.
+//
+// Because the trace is data, record/replay is exact: Encode writes a
+// canonical text artifact, Decode reads it back, and replaying a
+// decoded trace performs the identical simulation — a captured
+// workload becomes a regression fixture.
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"shrimp/internal/sim"
+	"shrimp/internal/trace"
+)
+
+// Service selects which server the generated requests target.
+type Service int
+
+const (
+	// RPC drives internal/rpc: one server node (node 0), client
+	// streams on the remaining nodes, polling or notified dispatch.
+	RPC Service = iota
+	// Socket drives internal/socketlib bulk transfer: server nodes on
+	// the upper half of the machine stream size-prefixed blocks back
+	// to client streams on the lower half.
+	Socket
+	// DFS drives the internal/apps/dfs block service: every node
+	// serves its striped blocks, client streams on the lower half read
+	// blocks whose home node the generator picks per request.
+	DFS
+)
+
+func (s Service) String() string {
+	switch s {
+	case RPC:
+		return "rpc"
+	case Socket:
+		return "socket"
+	case DFS:
+		return "dfs"
+	}
+	return fmt.Sprintf("service(%d)", int(s))
+}
+
+// ParseService resolves a service name.
+func ParseService(name string) (Service, error) {
+	switch name {
+	case "rpc":
+		return RPC, nil
+	case "socket":
+		return Socket, nil
+	case "dfs":
+		return DFS, nil
+	}
+	return 0, fmt.Errorf("workload: unknown service %q (want rpc, socket or dfs)", name)
+}
+
+// Class is one request class of a spec: a set of identically
+// distributed streams.
+type Class struct {
+	// Name labels the class in reports ("small", "bulk"); it must be
+	// non-empty and contain no whitespace (it appears as one token in
+	// the trace artifact).
+	Name string `json:"name"`
+	// Streams is how many independent client streams the class runs.
+	Streams int `json:"streams"`
+	// Requests is how many requests each stream issues.
+	Requests int `json:"requests"`
+	// Interarrival distributes the gap between consecutive scheduled
+	// arrivals within one stream, in nanoseconds.
+	Interarrival Dist `json:"interarrival"`
+	// Size distributes the request payload in bytes: RPC argument
+	// bytes, or the block size the socket/DFS server returns.
+	Size Dist `json:"size"`
+	// RespBytes is the RPC reply payload (ignored by socket and DFS,
+	// whose response is the requested block itself).
+	RespBytes int `json:"resp_bytes,omitempty"`
+}
+
+// Spec describes one open-loop workload.
+type Spec struct {
+	Service Service `json:"service"`
+	// Nodes is the machine size the spec targets; stream and server
+	// placement derive from it.
+	Nodes   int     `json:"nodes"`
+	Classes []Class `json:"classes"`
+	// DFSFiles and DFSBlocksPerFile bound the block address space DFS
+	// requests draw from (DFS only).
+	DFSFiles         int `json:"dfs_files,omitempty"`
+	DFSBlocksPerFile int `json:"dfs_blocks_per_file,omitempty"`
+}
+
+// maxRequestBytes caps generated sizes so a pathological distribution
+// tail cannot ask the simulated memory system for gigabytes.
+const maxRequestBytes = 1 << 20
+
+// Validate checks the spec.
+func (s *Spec) Validate() error {
+	if s.Nodes < 1 {
+		return fmt.Errorf("workload: nodes must be >= 1, got %d", s.Nodes)
+	}
+	if (s.Service == RPC || s.Service == Socket) && s.Nodes < 2 {
+		return fmt.Errorf("workload: %s service needs >= 2 nodes, got %d", s.Service, s.Nodes)
+	}
+	if len(s.Classes) == 0 {
+		return fmt.Errorf("workload: spec has no classes")
+	}
+	for i, c := range s.Classes {
+		if c.Name == "" || strings.ContainsAny(c.Name, " \t\n") {
+			return fmt.Errorf("workload: class %d name %q must be one non-empty token", i, c.Name)
+		}
+		if c.Streams < 1 || c.Requests < 1 {
+			return fmt.Errorf("workload: class %q needs streams and requests >= 1", c.Name)
+		}
+		if err := c.Interarrival.Validate(); err != nil {
+			return fmt.Errorf("class %q interarrival: %w", c.Name, err)
+		}
+		if err := c.Size.Validate(); err != nil {
+			return fmt.Errorf("class %q size: %w", c.Name, err)
+		}
+		if s.Service == RPC && c.RespBytes < 1 {
+			return fmt.Errorf("workload: rpc class %q needs resp_bytes >= 1", c.Name)
+		}
+		if s.Service == DFS && !c.Size.deterministic() {
+			// The DFS wire protocol carries (file, idx) only; the
+			// serving side is configured with one block size.
+			return fmt.Errorf("workload: dfs class %q needs a det size (the block size)", c.Name)
+		}
+	}
+	if s.Service == DFS {
+		if s.DFSFiles < 1 || s.DFSBlocksPerFile < 1 {
+			return fmt.Errorf("workload: dfs spec needs dfs_files and dfs_blocks_per_file >= 1")
+		}
+	}
+	return nil
+}
+
+// Streams returns the total stream count across classes.
+func (s *Spec) Streams() int {
+	n := 0
+	for _, c := range s.Classes {
+		n += c.Streams
+	}
+	return n
+}
+
+// Request is one generated request: the unit the recorder captures and
+// the replayer re-issues.
+type Request struct {
+	// At is the scheduled arrival, nanoseconds from run start.
+	At sim.Time
+	// Stream is the global stream index (see Trace.ClassOf).
+	Stream int32
+	// Class indexes Trace.Classes.
+	Class int32
+	// Target is the destination node.
+	Target int32
+	// Size is the request payload in bytes (see Class.Size).
+	Size int32
+	// Tag carries service-specific arguments: for DFS the block
+	// address, file<<32 | idx.
+	Tag uint64
+}
+
+// ClassInfo is the per-class header a trace carries: everything the
+// replayer needs beyond the request records themselves.
+type ClassInfo struct {
+	Name      string `json:"name"`
+	Streams   int    `json:"streams"`
+	RespBytes int    `json:"resp_bytes"`
+}
+
+// Trace is a fully materialized request schedule: the output of
+// Generate, the content of a trace artifact, and the input of Run.
+// Reqs are sorted by (At, Stream), which is a total order because
+// arrivals within one stream are strictly increasing.
+type Trace struct {
+	Service Service
+	Nodes   int
+	Classes []ClassInfo
+	Reqs    []Request
+}
+
+// Streams returns the total stream count.
+func (t *Trace) Streams() int {
+	n := 0
+	for _, c := range t.Classes {
+		n += c.Streams
+	}
+	return n
+}
+
+// ClassOf returns the class index owning a global stream index:
+// streams are numbered class by class, in class order.
+func (t *Trace) ClassOf(stream int) int {
+	for ci, c := range t.Classes {
+		if stream < c.Streams {
+			return ci
+		}
+		stream -= c.Streams
+	}
+	panic(fmt.Sprintf("workload: stream %d out of range", stream))
+}
+
+// Horizon returns the last scheduled arrival — the length of the
+// offered-load window. Offered throughput is total bytes over the
+// horizon; goodput is the same bytes over the (longer, under
+// saturation) completion time.
+func (t *Trace) Horizon() sim.Time {
+	if len(t.Reqs) == 0 {
+		return 0
+	}
+	return t.Reqs[len(t.Reqs)-1].At
+}
+
+// ClassStats accumulates one class's open-loop measurements.
+type ClassStats struct {
+	// Class is the class name.
+	Class string
+	// Requests completed (always the full generated count: the driver
+	// runs the trace to completion).
+	Requests int64
+	// Bytes moved on the wire for this class, both directions,
+	// including framing (measured via the service libraries' byte
+	// counters).
+	Bytes int64
+	// Sojourn is the distribution of completion - scheduled arrival.
+	Sojourn *trace.Hist
+}
+
+// Report is the outcome of one Run.
+type Report struct {
+	// Elapsed is the makespan: from run start until the last request
+	// completes and the machine drains.
+	Elapsed sim.Time
+	// Horizon is the trace's offered-load window (see Trace.Horizon).
+	Horizon sim.Time
+	// Classes holds per-class stats in trace class order.
+	Classes []ClassStats
+}
+
+// clientNodes returns the nodes hosting client streams.
+func clientNodes(svc Service, nodes int) []int {
+	switch svc {
+	case RPC:
+		// Node 0 serves; everyone else generates.
+		out := make([]int, 0, nodes-1)
+		for i := 1; i < nodes; i++ {
+			out = append(out, i)
+		}
+		return out
+	default:
+		// Socket and DFS clients live on the lower half, like the
+		// paper's DFS experiment.
+		nc := nodes / 2
+		if nc == 0 {
+			nc = 1
+		}
+		out := make([]int, nc)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+}
+
+// serverNodes returns the nodes running servers.
+func serverNodes(svc Service, nodes int) []int {
+	switch svc {
+	case RPC:
+		return []int{0}
+	case Socket:
+		out := make([]int, 0, nodes-nodes/2)
+		for i := nodes / 2; i < nodes; i++ {
+			out = append(out, i)
+		}
+		return out
+	default: // DFS: every node serves its stripe
+		out := make([]int, nodes)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+}
+
+// streamClient returns the node hosting a global stream index.
+func streamClient(svc Service, nodes, stream int) int {
+	cl := clientNodes(svc, nodes)
+	return cl[stream%len(cl)]
+}
+
+// streamTarget returns the fixed destination of a stream for services
+// with per-stream targets (RPC, Socket). DFS targets vary per request.
+func streamTarget(svc Service, nodes, stream int) int {
+	sv := serverNodes(svc, nodes)
+	return sv[stream%len(sv)]
+}

@@ -29,8 +29,14 @@ for p in 1 4; do
     "$BIN/shrimpbench" -exp all -quick -parallel "$p" -json >"$WORK/json.$p"
     "$BIN/shrimpbench" -exp all -quick -parallel "$p" -share-prefix >"$WORK/text.share.$p"
     "$BIN/shrimpbench" -exp all -quick -parallel "$p" -share-prefix -json >"$WORK/json.share.$p"
+    # The open-loop load family is hidden from "-exp all" (it measures
+    # services, not batch apps) but pinned under its own digests.
+    "$BIN/shrimpbench" -exp load -quick -parallel "$p" >"$WORK/loadtext.$p"
+    "$BIN/shrimpbench" -exp load -quick -parallel "$p" -json >"$WORK/loadjson.$p"
+    "$BIN/shrimpbench" -exp load -quick -parallel "$p" -share-prefix >"$WORK/loadtext.share.$p"
+    "$BIN/shrimpbench" -exp load -quick -parallel "$p" -share-prefix -json >"$WORK/loadjson.share.$p"
 done
-for kind in text json; do
+for kind in text json loadtext loadjson; do
     if ! cmp -s "$WORK/$kind.1" "$WORK/$kind.4"; then
         echo "golden: $kind output differs between -parallel 1 and -parallel 4" >&2
         exit 1
@@ -47,7 +53,9 @@ for kind in text json; do
 done
 
 digest() { sha256sum "$1" | cut -d' ' -f1; }
-NEW=$(printf 'text %s\njson %s\n' "$(digest "$WORK/text.1")" "$(digest "$WORK/json.1")")
+NEW=$(printf 'text %s\njson %s\nloadtext %s\nloadjson %s\n' \
+    "$(digest "$WORK/text.1")" "$(digest "$WORK/json.1")" \
+    "$(digest "$WORK/loadtext.1")" "$(digest "$WORK/loadjson.1")")
 
 if [ "${1:-}" = "-update" ]; then
     printf '%s\n' "$NEW" >"$GOLDEN"
@@ -70,4 +78,4 @@ if [ "$NEW" != "$(cat "$GOLDEN")" ]; then
     echo "together with an explanation of the behavioral change." >&2
     exit 1
 fi
-echo "golden: output matches $GOLDEN (text+json, -parallel 1 and 4, -share-prefix on/off)"
+echo "golden: output matches $GOLDEN (text+json+load, -parallel 1 and 4, -share-prefix on/off)"
