@@ -7,11 +7,14 @@ GOBIN := $(CURDIR)/bin
 
 all: lint test
 
-# lint builds the shrimpvet suite and runs it over the module through
-# cmd/go's vettool protocol, alongside the stock vet checks.
+# lint is the single entry point both CI legs run: stock vet, then the
+# shrimpvet suite standalone (writing the SARIF report CI uploads per
+# PR) and again through cmd/go's vettool protocol, which exercises the
+# fact-passing .vetx path and caches per package.
 lint:
 	go vet ./...
 	go build -o $(GOBIN)/shrimpvet ./cmd/shrimpvet
+	$(GOBIN)/shrimpvet -sarif $(GOBIN)/shrimpvet.sarif ./...
 	go vet -vettool=$(GOBIN)/shrimpvet ./...
 
 test:

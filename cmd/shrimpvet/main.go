@@ -1,11 +1,14 @@
-// Shrimpvet is the repo's determinism and hot-path vet suite: six
+// Shrimpvet is the repo's determinism and hot-path vet suite: ten
 // analyzers that enforce, at compile time, the invariants every
-// experiment number depends on at run time.
+// experiment number depends on at run time — six per-function
+// syntactic rules and four interprocedural ones (continuation safety,
+// checkpoint coverage, Seq machine shape, pointer-identity leaks).
 //
 // Standalone:
 //
-//	shrimpvet ./...            # analyze packages, print findings
-//	shrimpvet help             # list the rules
+//	shrimpvet ./...              # analyze packages, print findings
+//	shrimpvet -sarif out.json ./...  # also write a SARIF 2.1.0 report
+//	shrimpvet help               # list the rules
 //
 // As a go vet tool (what CI and `make lint` run):
 //
@@ -14,8 +17,11 @@
 //
 // The vettool mode speaks cmd/go's unitchecker protocol: -V=full for
 // build-cache fingerprinting, -flags for flag discovery, and a JSON
-// .cfg file naming the package unit to analyze. See docs/shrimpvet.md
-// for the rule catalog and the suppression syntax.
+// .cfg file naming the package unit to analyze. Package facts (the
+// interprocedural layer) ride the protocol's .vetx files; standalone
+// mode computes them in-process by analyzing packages in dependency
+// order. See docs/shrimpvet.md for the rule catalog and the
+// suppression syntax.
 package main
 
 import (
@@ -44,10 +50,16 @@ func main() {
 			printVersion()
 			return
 		case a == "-flags":
-			// Flag discovery handshake: the suite takes no flags.
+			// Flag discovery handshake: the suite takes no flags in
+			// vettool mode (-sarif is standalone-only).
 			fmt.Println("[]")
 			return
 		}
+	}
+	sarifPath := ""
+	if len(args) >= 2 && args[0] == "-sarif" {
+		sarifPath = args[1]
+		args = args[2:]
 	}
 	switch {
 	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
@@ -55,7 +67,7 @@ func main() {
 	case len(args) == 1 && args[0] == "help":
 		printHelp()
 	default:
-		os.Exit(standalone(args))
+		os.Exit(standalone(args, sarifPath))
 	}
 }
 
@@ -75,7 +87,7 @@ func printVersion() {
 
 func printHelp() {
 	fmt.Printf("%s: static checks for the SHRIMP simulator's determinism and hot-path invariants\n\n", progname)
-	fmt.Printf("usage: %s [package pattern ...]   (default ./...)\n", progname)
+	fmt.Printf("usage: %s [-sarif out.json] [package pattern ...]   (default ./...)\n", progname)
 	fmt.Printf("   or: go vet -vettool=$(command -v %s) ./...\n\nrules:\n", progname)
 	for _, a := range analyzers {
 		fmt.Printf("  %-14s %s\n", a.Name, a.Doc)
@@ -86,8 +98,10 @@ func printHelp() {
 }
 
 // standalone loads the matched packages with `go list -export` and
-// analyzes them in-process. Exit status 1 means findings.
-func standalone(patterns []string) int {
+// analyzes them in-process: facts are computed in dependency order
+// through a shared store, findings are reported in the loader's
+// (alphabetical) package order. Exit status 1 means findings.
+func standalone(patterns []string, sarifPath string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -96,16 +110,33 @@ func standalone(patterns []string) int {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		return 2
 	}
-	found := 0
-	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, analyzers)
+	store := analysis.NewFactStore()
+	byPath := map[string][]analysis.Diagnostic{}
+	for _, pkg := range analysis.TopoOrder(pkgs) {
+		diags, err := analysis.Run(pkg, analyzers, store)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 			return 2
 		}
-		for _, d := range diags {
+		byPath[pkg.Path] = diags
+	}
+	found := 0
+	var results []sarifFinding
+	for _, pkg := range pkgs {
+		for _, d := range byPath[pkg.Path] {
 			fmt.Printf("%s: [%s] %s\n", relPos(pkg, d), d.Analyzer, d.Message)
+			pos := pkg.Fset.Position(d.Pos)
+			results = append(results, sarifFinding{
+				Rule: d.Analyzer, Message: d.Message,
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			})
 			found++
+		}
+	}
+	if sarifPath != "" {
+		if err := writeSARIF(sarifPath, analyzers, results); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			return 2
 		}
 	}
 	if found > 0 {

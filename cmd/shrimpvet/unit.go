@@ -9,16 +9,22 @@ import (
 	"go/types"
 	"os"
 	"regexp"
+	"sort"
+	"strings"
 
 	"shrimp/internal/analysis"
 	"shrimp/internal/analysis/load"
 )
 
 // vetConfig is the JSON unit description cmd/go hands a -vettool, one
-// per package. The field set mirrors x/tools' unitchecker.Config; the
-// facts-related fields (PackageVetx, VetxOnly, VetxOutput) are
-// honored structurally — this suite defines no facts, so the vetx
-// files it writes are empty placeholders.
+// per package. The field set mirrors x/tools' unitchecker.Config.
+//
+// The facts fields carry the suite's interprocedural layer: VetxOnly
+// units (dependency passes) compute and write the package's facts to
+// VetxOutput; full units read the facts of every dependency from the
+// PackageVetx files, analyze with them, and write their own facts.
+// Only module packages export facts — stdlib units get the empty
+// placeholder, since no shrimp analyzer defines facts about them.
 type vetConfig struct {
 	ID                        string
 	Compiler                  string
@@ -37,6 +43,12 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// modulePackage reports whether path belongs to this module, the only
+// packages whose facts the suite computes.
+func modulePackage(path string) bool {
+	return path == "shrimp" || strings.HasPrefix(path, "shrimp/")
+}
+
 // unitcheck analyzes one package unit described by cfgFile, printing
 // findings to stderr in the file:line:col form go vet relays. Exit
 // status: 0 clean, 1 operational error, 2 findings.
@@ -52,17 +64,33 @@ func unitcheck(cfgFile string) int {
 		return 1
 	}
 	// The driver expects the facts file regardless of findings; write
-	// it first so a diagnostic exit never leaves it missing.
+	// the placeholder first so a diagnostic exit never leaves it
+	// missing, then overwrite it with real facts once computed.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: writing facts: %v\n", progname, err)
 			return 1
 		}
 	}
-	if cfg.VetxOnly {
-		// Dependency pass: the driver only wants exported facts, and
-		// this suite has none.
+	if !modulePackage(cfg.ImportPath) {
+		// Stdlib or vendored unit: no shrimp facts, no shrimp rules.
 		return 0
+	}
+	store := analysis.NewFactStore()
+	depPaths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		depPaths = append(depPaths, path)
+	}
+	sort.Strings(depPaths)
+	for _, path := range depPaths {
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			continue // dependency produced no facts file: treat as fact-free
+		}
+		if err := store.DecodePackage(path, data); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			return 1
+		}
 	}
 	pkg, err := loadUnit(cfg)
 	if err != nil {
@@ -72,10 +100,33 @@ func unitcheck(cfgFile string) int {
 		fmt.Fprintf(os.Stderr, "%s: %s: %v\n", progname, cfg.ImportPath, err)
 		return 1
 	}
-	diags, err := analysis.Run(pkg, analyzers)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
-		return 1
+	var diags []analysis.Diagnostic
+	if cfg.VetxOnly {
+		// Dependency pass: compute facts only, report nothing (the
+		// package's own findings come from its full unit).
+		if err := analysis.ComputeFacts(pkg, analyzers, store); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			return 1
+		}
+	} else {
+		diags, err = analysis.Run(pkg, analyzers, store)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			return 1
+		}
+	}
+	if cfg.VetxOutput != "" {
+		facts, err := store.EncodePackage(cfg.ImportPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			return 1
+		}
+		if len(facts) > 0 {
+			if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing facts: %v\n", progname, err)
+				return 1
+			}
+		}
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)

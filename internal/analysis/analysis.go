@@ -31,6 +31,12 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description shown by `shrimpvet help`.
 	Doc string
+	// Facts marks the analyzer as exporting package facts: summaries
+	// of the analyzed package that analyses of importing packages
+	// read back through Pass.ImportPackageFact. Fact-exporting
+	// analyzers run on dependencies before their importers (see
+	// TopoOrder and the vettool VetxOnly pass).
+	Facts bool
 	// Run applies the analyzer to one package, reporting findings
 	// through pass.Report/Reportf.
 	Run func(pass *Pass) error
@@ -46,6 +52,9 @@ type Pass struct {
 
 	// report receives each diagnostic as it is emitted.
 	report func(Diagnostic)
+	// store holds package facts across the whole run; nil for
+	// fact-free invocations.
+	store *FactStore
 }
 
 // Diagnostic is one finding, positioned in the analyzed source.
@@ -84,7 +93,13 @@ type Package struct {
 
 // Run applies each analyzer to pkg and returns the surviving
 // diagnostics in source order, with //lint:ignore suppressions applied.
-func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// store carries package facts across packages: fact-exporting
+// analyzers record their summaries in it, and read back the facts of
+// previously analyzed dependencies. Callers analyzing several
+// packages should share one store and process packages in TopoOrder;
+// nil means a fact-free run (single-package fixtures, fact-free
+// suites).
+func Run(pkg *Package, analyzers []*Analyzer, store *FactStore) ([]Diagnostic, error) {
 	ig := collectIgnores(pkg.Fset, pkg.Files)
 	var out []Diagnostic
 	for _, a := range analyzers {
@@ -94,6 +109,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			store:     store,
 			report: func(d Diagnostic) {
 				if !ig.suppresses(pkg.Fset, d) {
 					out = append(out, d)
@@ -106,6 +122,32 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
 	return out, nil
+}
+
+// ComputeFacts runs only the fact-exporting analyzers over pkg,
+// discarding diagnostics, so that the store gains the package's
+// summaries. This is the dependency pass: the vettool's VetxOnly
+// units use it to produce facts for packages whose diagnostics were
+// already (or will separately be) reported.
+func ComputeFacts(pkg *Package, analyzers []*Analyzer, store *FactStore) error {
+	for _, a := range analyzers {
+		if !a.Facts {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			store:     store,
+			report:    func(Diagnostic) {},
+		}
+		if err := a.Run(pass); err != nil {
+			return fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	return nil
 }
 
 // ignoreKey addresses one suppressed (file, line).

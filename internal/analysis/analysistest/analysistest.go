@@ -38,15 +38,19 @@ type expectation struct {
 }
 
 // Run loads each fixture package under dir/src and applies a to it,
-// comparing diagnostics against the fixtures' want comments.
+// comparing diagnostics against the fixtures' want comments. The
+// packages share one fact store and are analyzed in the order given,
+// so listing a dependency before its importer exercises cross-package
+// facts exactly as the vettool does.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	store := analysis.NewFactStore()
 	for _, path := range pkgPaths {
 		pkg, err := load.Fixture(dir, path)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		diags, err := analysis.Run(pkg, []*analysis.Analyzer{a}, store)
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}

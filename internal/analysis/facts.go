@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// FactStore holds package-level facts: one JSON-encoded value per
+// (package, analyzer) pair. Facts are how interprocedural analyzers
+// (fncontext) see across package boundaries without dependency ASTs:
+// when a package is analyzed, its fact-exporting analyzers serialize
+// what downstream packages need (which functions can block, which
+// parameters are continuation roots), and analyses of importing
+// packages read those summaries back.
+//
+// JSON is the wire format because facts must survive two transports:
+// in-process (standalone shrimpvet, analysistest, the registry
+// self-check share one store) and cmd/go's vettool protocol, where
+// each package's facts round-trip through the .vetx file named by the
+// unit config (EncodePackage/DecodePackage).
+type FactStore struct {
+	// pkgs maps package import path -> analyzer name -> encoded fact.
+	pkgs map[string]map[string]json.RawMessage
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{pkgs: map[string]map[string]json.RawMessage{}}
+}
+
+// set records the fact for (path, analyzer), replacing any previous
+// value.
+func (s *FactStore) set(path, analyzer string, fact any) error {
+	data, err := json.Marshal(fact)
+	if err != nil {
+		return fmt.Errorf("encoding %s fact for %s: %w", analyzer, path, err)
+	}
+	m := s.pkgs[path]
+	if m == nil {
+		m = map[string]json.RawMessage{}
+		s.pkgs[path] = m
+	}
+	m[analyzer] = data
+	return nil
+}
+
+// get decodes the fact for (path, analyzer) into out, reporting
+// whether one was present.
+func (s *FactStore) get(path, analyzer string, out any) bool {
+	data, ok := s.pkgs[path][analyzer]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, out) == nil
+}
+
+// HasPackage reports whether any facts are recorded for path.
+func (s *FactStore) HasPackage(path string) bool {
+	return len(s.pkgs[path]) > 0
+}
+
+// EncodePackage serializes every fact recorded for path — the payload
+// written to the package's .vetx file in vettool mode. A package with
+// no facts encodes to an empty slice, matching the empty placeholder
+// files written for fact-free units.
+func (s *FactStore) EncodePackage(path string) ([]byte, error) {
+	m := s.pkgs[path]
+	if len(m) == 0 {
+		return nil, nil
+	}
+	return json.Marshal(m)
+}
+
+// DecodePackage merges a .vetx payload produced by EncodePackage into
+// the store under path. Empty payloads (fact-free units, stdlib
+// placeholders) decode to nothing.
+func (s *FactStore) DecodePackage(path string, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("decoding facts for %s: %w", path, err)
+	}
+	dst := s.pkgs[path]
+	if dst == nil {
+		dst = map[string]json.RawMessage{}
+		s.pkgs[path] = dst
+	}
+	for k, v := range m {
+		dst[k] = v
+	}
+	return nil
+}
+
+// ImportPackageFact decodes the fact the current analyzer exported for
+// the package at path into out, reporting whether one exists. Analyzers
+// see only their own facts: the analyzer name is part of the key.
+func (p *Pass) ImportPackageFact(path string, out any) bool {
+	if p.store == nil {
+		return false
+	}
+	return p.store.get(path, p.Analyzer.Name, out)
+}
+
+// ExportPackageFact records fact as the current analyzer's summary of
+// the package under analysis, for analyses of importing packages (and,
+// in vettool mode, for the unit's .vetx output). Only analyzers
+// declaring Facts may export.
+func (p *Pass) ExportPackageFact(fact any) error {
+	if !p.Analyzer.Facts {
+		return fmt.Errorf("%s: analyzer does not declare Facts", p.Analyzer.Name)
+	}
+	if p.store == nil {
+		return nil // fact-free invocation (e.g. single-package fixture)
+	}
+	return p.store.set(p.Pkg.Path(), p.Analyzer.Name, fact)
+}
+
+// TopoOrder returns pkgs sorted so that every package follows the
+// packages it imports, restricted to the given set; ties (and the
+// DFS visit order) break by import path, so the order is
+// deterministic. Fact-consuming callers analyze in this order so that
+// a package's facts exist before its importers need them; reporting
+// order is the caller's business and unchanged.
+func TopoOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Types.Path()] = p
+	}
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		paths = append(paths, p.Types.Path())
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(pkgs))
+	seen := make(map[string]bool, len(pkgs))
+	var visit func(path string)
+	visit = func(path string) {
+		pkg, ok := byPath[path]
+		if !ok || seen[path] {
+			return
+		}
+		seen[path] = true
+		imps := pkg.Types.Imports()
+		ipaths := make([]string, 0, len(imps))
+		for _, imp := range imps {
+			ipaths = append(ipaths, imp.Path())
+		}
+		sort.Strings(ipaths)
+		for _, ip := range ipaths {
+			visit(ip)
+		}
+		out = append(out, pkg)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return out
+}

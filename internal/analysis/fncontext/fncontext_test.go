@@ -1,0 +1,16 @@
+package fncontext_test
+
+import (
+	"testing"
+
+	"shrimp/internal/analysis/analysistest"
+	"shrimp/internal/analysis/fncontext"
+)
+
+// The sim fixture is listed first so its facts (directive marks,
+// blocking summaries) are in the store when nic is analyzed, exactly
+// as the vettool orders units.
+func TestFncontext(t *testing.T) {
+	analysistest.Run(t, "testdata", fncontext.Analyzer,
+		"shrimp/internal/sim", "shrimp/internal/nic")
+}

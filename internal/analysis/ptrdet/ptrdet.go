@@ -1,0 +1,278 @@
+// Package ptrdet defines an Analyzer that flags pointer identity
+// leaking into simulation-side data: memory addresses are assigned by
+// the host allocator, so any output, ordering, or key derived from
+// them varies run to run even when the simulated machine is perfectly
+// deterministic.
+//
+// Inside the simulation boundary (analysis.IsSimSide) it reports:
+//
+//   - %p verbs in fmt format strings — an address in a trace line or
+//     result row differs on every run;
+//   - pointer-valued arguments formatted with %v (or the default verb
+//     of fmt.Print/Println): fmt dereferences pointers to structs,
+//     arrays, slices and maps, but prints every other pointer — and
+//     every chan, func, and unsafe.Pointer — as a raw address. Types
+//     with a String or Error method format through it and are exempt;
+//   - range over a map whose key type contains pointer identity
+//     (pointer, chan, func, unsafe.Pointer): hash order over addresses
+//     is nondeterministic, and unlike ordinary maps the sorted-keys
+//     idiom cannot fix it — sorting addresses is itself
+//     nondeterministic. Key the map by a stable id instead;
+//   - uintptr(unsafe.Pointer(...)) conversions, which turn an address
+//     into an integer that then feeds arithmetic, hashes, or sort
+//     comparators.
+package ptrdet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"shrimp/internal/analysis"
+)
+
+// Analyzer flags pointer-identity leaks in sim-side packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "ptrdet",
+	Doc: "flag pointer identity leaking into simulation data: %p and pointer %v " +
+		"formatting, range over pointer-keyed maps, and uintptr(unsafe.Pointer) " +
+		"conversions; addresses vary per run and poison output determinism",
+	Run: run,
+}
+
+// formatArg maps fmt's formatting functions to the index of their
+// format-string argument; variadic operands follow it.
+var formatArg = map[string]int{
+	"Printf": 0, "Sprintf": 0, "Errorf": 0,
+	"Fprintf": 1, "Appendf": 1,
+}
+
+// printArg maps fmt's default-verb functions to the index of their
+// first operand.
+var printArg = map[string]int{
+	"Print": 0, "Println": 0, "Sprint": 0, "Sprintln": 0,
+	"Fprint": 1, "Fprintln": 1,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsSimSide(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall handles the fmt verbs and the unsafe.Pointer laundering.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// uintptr(unsafe.Pointer(x)): an address becomes an integer.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.Uintptr {
+			if argT, ok := pass.TypesInfo.Types[call.Args[0]]; ok && isUnsafePointer(argT.Type) {
+				pass.Reportf(call.Pos(),
+					"uintptr(unsafe.Pointer) turns an object address into an integer; "+
+						"address-based arithmetic, hashing or ordering varies per run — derive a stable id instead")
+			}
+		}
+		return
+	}
+	name, pkgPath := fmtCallee(pass, call)
+	if pkgPath != "fmt" {
+		return
+	}
+	if idx, ok := formatArg[name]; ok && len(call.Args) > idx {
+		checkFormat(pass, call, idx)
+	}
+	if idx, ok := printArg[name]; ok {
+		for _, arg := range call.Args[min(idx, len(call.Args)):] {
+			checkOperand(pass, arg, "the default verb")
+		}
+	}
+}
+
+// checkFormat walks a constant format string, pairing verbs with their
+// operands.
+func checkFormat(pass *analysis.Pass, call *ast.CallExpr, fmtIdx int) {
+	tv, ok := pass.TypesInfo.Types[call.Args[fmtIdx]]
+	if !ok || tv.Value == nil {
+		return
+	}
+	format := constantString(tv)
+	args := call.Args[fmtIdx+1:]
+	argi := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision; '*' consumes an operand.
+		for i < len(format) {
+			c := format[i]
+			if c == '[' {
+				return // explicit argument indexes: give up on pairing
+			}
+			if c == '*' {
+				argi++
+			}
+			if (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '#' || c == ' ' || c == '.' || c == '*' {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			return
+		}
+		verb := format[i]
+		if verb == '%' {
+			continue
+		}
+		switch verb {
+		case 'p':
+			pass.Reportf(call.Args[fmtIdx].Pos(),
+				"%%p prints a raw address; addresses vary per run and poison output determinism — print a stable id instead")
+		case 'v':
+			if argi < len(args) {
+				checkOperand(pass, args[argi], "%v")
+			}
+		}
+		argi++
+	}
+}
+
+// checkOperand reports arg when its type formats as an address.
+func checkOperand(pass *analysis.Pass, arg ast.Expr, how string) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if printsAddress(tv.Type) {
+		pass.Reportf(arg.Pos(),
+			"%s formats %s as a raw address; addresses vary per run and poison output determinism — "+
+				"print a stable id or a Stringer instead", how, tv.Type.String())
+	}
+}
+
+// printsAddress reports whether fmt renders a value of type t as a
+// memory address under %v: chans, funcs, unsafe.Pointer, and pointers
+// whose pointee fmt does not dereference. String/Error methods take
+// precedence in fmt and exempt the type.
+func printsAddress(t types.Type) bool {
+	if hasStringMethod(t) {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Pointer:
+		switch u.Elem().Underlying().(type) {
+		case *types.Struct, *types.Array, *types.Slice, *types.Map:
+			return false // fmt prints &<dereferenced value>
+		}
+		return true
+	}
+	return false
+}
+
+// checkRange flags iteration over pointer-keyed maps.
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	m, ok := tv.Type.Underlying().(*types.Map)
+	if !ok {
+		return
+	}
+	if rng.Key == nil && rng.Value == nil {
+		return // `for range m`: order unobservable
+	}
+	if keyHoldsAddress(m.Key()) {
+		pass.Reportf(rng.Pos(),
+			"range over map keyed by %s iterates in address hash order, which differs per run "+
+				"and cannot be fixed by sorting; key the map by a stable id", m.Key().String())
+	}
+}
+
+// keyHoldsAddress reports whether a map key type carries pointer
+// identity: a pointer, chan, func, unsafe.Pointer, or a
+// struct/array/interface composed of one.
+func keyHoldsAddress(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if keyHoldsAddress(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return keyHoldsAddress(u.Elem())
+	}
+	return false
+}
+
+// hasStringMethod reports whether t (or *t) has a String() string or
+// Error() string method, which fmt prefers over raw formatting.
+func hasStringMethod(t types.Type) bool {
+	for _, name := range []string{"String", "Error"} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		if b, ok := sig.Results().At(0).Type().(*types.Basic); ok && b.Kind() == types.String {
+			return true
+		}
+	}
+	return false
+}
+
+// isUnsafePointer reports whether t is unsafe.Pointer.
+func isUnsafePointer(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.UnsafePointer
+}
+
+// fmtCallee resolves a call to its package-level callee name and
+// package path.
+func fmtCallee(pass *analysis.Pass, call *ast.CallExpr) (name, pkgPath string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Name(), fn.Pkg().Path()
+}
+
+// constantString extracts the string value of a constant expression.
+func constantString(tv types.TypeAndValue) string {
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
+}

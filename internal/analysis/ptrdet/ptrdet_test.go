@@ -1,0 +1,15 @@
+package ptrdet_test
+
+import (
+	"testing"
+
+	"shrimp/internal/analysis/analysistest"
+	"shrimp/internal/analysis/ptrdet"
+)
+
+// harness is host-side, so the analyzer must stay silent there even
+// though it prints %p.
+func TestPtrdet(t *testing.T) {
+	analysistest.Run(t, "testdata", ptrdet.Analyzer,
+		"shrimp/internal/nic", "shrimp/internal/harness")
+}

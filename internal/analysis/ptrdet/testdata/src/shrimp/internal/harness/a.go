@@ -1,0 +1,9 @@
+// Package harness sits outside the simulation boundary: host-side
+// debug output may print addresses, so ptrdet skips it entirely.
+package harness
+
+import "fmt"
+
+func debugDump(v any) string {
+	return fmt.Sprintf("%p", v)
+}

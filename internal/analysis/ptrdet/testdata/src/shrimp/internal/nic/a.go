@@ -1,0 +1,64 @@
+// Package nic exercises pointer-identity leak detection on a sim-side
+// package: raw addresses in output or iteration order vary per run and
+// poison determinism.
+package nic
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+type packet struct{ id int }
+
+type ided struct{ id int }
+
+func (i *ided) String() string { return fmt.Sprint(i.id) }
+
+func badPercentP(p *packet) string {
+	return fmt.Sprintf("%p", p) // want `%p prints a raw address`
+}
+
+func badPercentV(n *int) {
+	fmt.Printf("%v\n", n) // want `%v formats \*int as a raw address`
+}
+
+func badWrapped(ch chan int) error {
+	return fmt.Errorf("stuck on %v", ch) // want `%v formats chan int as a raw address`
+}
+
+func badDefaultVerb(ch chan int) {
+	fmt.Println(ch) // want `the default verb formats chan int as a raw address`
+}
+
+// okStructPtr: fmt renders pointer-to-struct as &{...}, not an address.
+func okStructPtr(p *packet) {
+	fmt.Printf("%v\n", p)
+}
+
+// okStringer: the Stringer method supplies a stable rendering.
+func okStringer(i *ided) {
+	fmt.Println(i)
+}
+
+func badMapRange(m map[*packet]int) int {
+	total := 0
+	for p, n := range m { // want `range over map keyed by \*shrimp/internal/nic\.packet iterates in address hash order`
+		_ = p
+		total += n
+	}
+	return total
+}
+
+// okBlankKey: draining a map without consuming key or value leaks no
+// order.
+func okBlankKey(m map[*packet]int) int {
+	total := 0
+	for range m {
+		total++
+	}
+	return total
+}
+
+func badUintptr(p *packet) uintptr {
+	return uintptr(unsafe.Pointer(p)) // want `uintptr\(unsafe\.Pointer\) turns an object address into an integer`
+}

@@ -6,6 +6,7 @@ import (
 	"go/types"
 	"sort"
 	"testing"
+	"time"
 
 	"shrimp/internal/analysis"
 	"shrimp/internal/analysis/load"
@@ -16,10 +17,17 @@ import (
 // and fails on any finding. This keeps `go test ./...` (tier 1) as
 // strict as the CI vet step: a change that violates a determinism or
 // hot-path rule fails the ordinary test run, not just `make lint`.
+// It doubles as the suite's runtime budget check: the interprocedural
+// analyzers (fncontext, snapshotcover, seqmachine) must stay cheap
+// enough that the whole module analyzes inside suiteBudget, or the
+// edit-vet loop stops being interactive.
+const suiteBudget = 60 * time.Second
+
 func TestTreeIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
 	}
+	start := time.Now()
 	pkgs, err := load.List("../../..", "./...")
 	if err != nil {
 		t.Fatalf("loading module packages: %v", err)
@@ -28,8 +36,9 @@ func TestTreeIsClean(t *testing.T) {
 		t.Fatal("loader matched no packages")
 	}
 	suite := registry.All()
-	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, suite)
+	store := analysis.NewFactStore()
+	for _, pkg := range analysis.TopoOrder(pkgs) {
+		diags, err := analysis.Run(pkg, suite, store)
 		if err != nil {
 			t.Fatalf("%s: %v", pkg.Path, err)
 		}
@@ -39,6 +48,11 @@ func TestTreeIsClean(t *testing.T) {
 	}
 	if t.Failed() {
 		fmt.Println("fix the violation or add a justified //lint:ignore directive (docs/shrimpvet.md)")
+	}
+	if elapsed := time.Since(start); elapsed > suiteBudget {
+		t.Errorf("suite took %v over the whole module, past the %v budget; an analyzer has gone super-linear", elapsed, suiteBudget)
+	} else {
+		t.Logf("suite over the whole module: %v (budget %v)", elapsed, suiteBudget)
 	}
 }
 

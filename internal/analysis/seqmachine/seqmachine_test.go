@@ -1,0 +1,12 @@
+package seqmachine_test
+
+import (
+	"testing"
+
+	"shrimp/internal/analysis/analysistest"
+	"shrimp/internal/analysis/seqmachine"
+)
+
+func TestSeqmachine(t *testing.T) {
+	analysistest.Run(t, "testdata", seqmachine.Analyzer, "shrimp/internal/dev")
+}

@@ -1,0 +1,155 @@
+// Package dev exercises the well-formedness checks on sim.Seq state
+// machines: constant pc spaces, reachable steps, no fall-through past
+// the end, and hotpath marking on dispatch helpers.
+package dev
+
+import "shrimp/internal/sim"
+
+func bad() bool { return false }
+
+// good is the NIC idiom: hotpath dispatch, helper steps, a terminal
+// Wait, and a default clause covering the remaining pc.
+type good struct {
+	seq sim.Seq
+	bus sim.Resource
+}
+
+func (g *good) start(e *sim.Engine) {
+	g.seq.Init(e, 3, g.step)
+	g.seq.Start(0)
+}
+
+//shrimp:hotpath
+func (g *good) step(pc int) sim.Ctl {
+	switch pc {
+	case 0:
+		return g.seq.Acquire(&g.bus)
+	case 1:
+		return g.stepMid()
+	default:
+		return g.stepEnd()
+	}
+}
+
+//shrimp:hotpath
+func (g *good) stepMid() sim.Ctl { return g.seq.Sleep(4) }
+
+//shrimp:hotpath
+func (g *good) stepEnd() sim.Ctl { return sim.Wait }
+
+// skipper parks at step 0 with no resume arc, so the rest of its pc
+// space is dead.
+type skipper struct{ seq sim.Seq }
+
+func (s *skipper) start(e *sim.Engine) {
+	s.seq.Init(e, 3, s.step)
+	s.seq.Start(0)
+}
+
+func (s *skipper) step(pc int) sim.Ctl {
+	switch pc {
+	case 0:
+		return sim.Wait
+	case 1: // want `step 1 of step is unreachable: no Start entry, Goto, or resume continuation leads to it`
+		return s.seq.Next()
+	case 2: // want `step 2 of step is unreachable: no Start entry, Goto, or resume continuation leads to it`
+		return sim.Wait
+	}
+	return sim.Wait
+}
+
+// faller advances past the end of its step list.
+type faller struct{ seq sim.Seq }
+
+func (f *faller) start(e *sim.Engine) {
+	f.seq.Init(e, 2, f.step)
+	f.seq.Start(0)
+}
+
+func (f *faller) step(pc int) sim.Ctl {
+	switch pc {
+	case 0:
+		return f.seq.Next()
+	default:
+		return f.seq.Next() // want `last step of step advances past the end of the 2-step list, silently halting the machine; park with Wait or jump with Goto`
+	}
+}
+
+// wild mixes a cross-sequencer Ctl with an out-of-range Goto.
+type wild struct {
+	seq   sim.Seq
+	other sim.Seq
+}
+
+func (w *wild) start(e *sim.Engine) {
+	w.seq.Init(e, 2, w.step)
+	w.seq.Start(0)
+}
+
+func (w *wild) step(pc int) sim.Ctl {
+	switch pc {
+	case 0:
+		if bad() {
+			return w.other.Next() // want `step returns a Ctl produced by sequencer other, but it drives a machine Init'd on seq; the wrong machine's pc would advance`
+		}
+		return w.seq.Next()
+	default:
+		return w.seq.Goto(5) // want `Goto target 5 in step is outside the step range \[0,2\)`
+	}
+}
+
+// varn binds a run-time step count, so its pc space cannot be audited.
+type varn struct{ seq sim.Seq }
+
+func (v *varn) start(e *sim.Engine, n int) {
+	v.seq.Init(e, n, v.step) // want `step count of step's sequencer is not a constant; the pc space of a Seq machine must be auditable statically`
+}
+
+func (v *varn) step(pc int) sim.Ctl {
+	switch pc {
+	case 0:
+		return sim.Wait
+	}
+	return sim.Wait
+}
+
+// hot has a hotpath dispatcher calling an unmarked helper step.
+type hot struct{ seq sim.Seq }
+
+func (h *hot) start(e *sim.Engine) {
+	h.seq.Init(e, 2, h.step)
+	h.seq.Start(0)
+}
+
+//shrimp:hotpath
+func (h *hot) step(pc int) sim.Ctl {
+	switch pc {
+	case 0:
+		return h.helper()
+	default:
+		return sim.Wait
+	}
+}
+
+func (h *hot) helper() sim.Ctl { // want `step helper is dispatched by hotpath function step but is not marked //shrimp:hotpath; the hotpath allocation checks do not see it`
+	return h.seq.Next()
+}
+
+// cold is unmarked, so per-dispatch closures are flagged directly.
+type cold struct{ seq sim.Seq }
+
+func (c *cold) start(e *sim.Engine) {
+	c.seq.Init(e, 2, c.step)
+	c.seq.Start(0)
+}
+
+func (c *cold) step(pc int) sim.Ctl {
+	switch pc {
+	case 0:
+		f := func() {} // want `closure allocated inside Seq step step runs once per dispatched event; bind the continuation once at construction`
+		f()
+		return c.seq.Next()
+	default:
+		return sim.Wait
+	}
+}

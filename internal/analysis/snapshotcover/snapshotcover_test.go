@@ -1,0 +1,12 @@
+package snapshotcover_test
+
+import (
+	"testing"
+
+	"shrimp/internal/analysis/analysistest"
+	"shrimp/internal/analysis/snapshotcover"
+)
+
+func TestSnapshotcover(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotcover.Analyzer, "shrimp/internal/dev")
+}

@@ -1,0 +1,35 @@
+// Package dev exercises snapshot coverage classification: every field
+// of a registered state struct must be referenced by the snapshot.go
+// capture/restore pair or carry a //shrimp:nostate annotation.
+package dev
+
+// Dev is registered by being the receiver of the Snapshot/Restore pair
+// in snapshot.go.
+type Dev struct {
+	both    int
+	caponly int // want `field Dev\.caponly of snapshotted struct is captured but never restored in snapshot\.go`
+	resonly int // want `field Dev\.resonly of snapshotted struct is restored but never captured in snapshot\.go`
+	never   int // want `field Dev\.never of snapshotted struct is never referenced by snapshot\.go's capture/restore pair`
+
+	wired int //shrimp:nostate wiring: identity fixed at construction, same across branches
+	quiet int //shrimp:nostate asserted: Quiescent requires it zero before a snapshot
+
+	badClass int //shrimp:nostate sticky: held over // want `class "sticky" is not one of captured, asserted, wiring`
+	noColon  int //shrimp:nostate wiring // want `missing ". <why>" after the class`
+}
+
+// DevState is the snapshot copy, registered by directive; its fields
+// are referenced via composite keys on the capture side and reads on
+// the restore side.
+//
+//shrimp:state
+type DevState struct {
+	both int
+	gone int // want `field DevState\.gone of snapshotted struct is never referenced by snapshot\.go's capture/restore pair`
+}
+
+// bystander is not registered — no side-function receiver, no
+// //shrimp:state mark — so its unreferenced fields are exempt.
+type bystander struct {
+	anything int
+}

@@ -32,6 +32,22 @@ const (
 	Wiring   Class = "wiring"
 )
 
+// Classes enumerates the classification vocabulary. The shrimpvet
+// snapshotcover analyzer's //shrimp:nostate annotations use these
+// same tokens, so the static mirror and this runtime inventory cannot
+// drift apart on what a class means (TestStaticCoverageMatches pins
+// the per-field agreement).
+func Classes() []Class { return []Class{Captured, Asserted, Wiring} }
+
+// ParseClass maps an annotation token to its Class.
+func ParseClass(s string) (Class, bool) {
+	switch c := Class(s); c {
+	case Captured, Asserted, Wiring:
+		return c, true
+	}
+	return "", false
+}
+
 // TypeCoverage classifies every field of one struct type.
 type TypeCoverage struct {
 	Type   reflect.Type

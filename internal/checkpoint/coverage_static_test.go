@@ -1,0 +1,77 @@
+package checkpoint_test
+
+import (
+	"sort"
+	"testing"
+
+	"shrimp/internal/analysis/load"
+	"shrimp/internal/analysis/snapshotcover"
+	"shrimp/internal/checkpoint"
+)
+
+// TestStaticCoverageMatches pins the runtime coverage tables to the
+// static inventory the snapshotcover analyzer computes from the source
+// annotations. The two views share one vocabulary (checkpoint.Classes)
+// but are built independently — reflection over live types here,
+// snapshot.go reference analysis plus //shrimp:nostate annotations
+// there — so any drift (a field added to one side, a class changed in
+// one place) fails this test with the exact field named.
+func TestStaticCoverageMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the snapshotted packages")
+	}
+	tables := checkpoint.Covered()
+	paths := map[string]bool{}
+	for _, tc := range tables {
+		paths[tc.Type.PkgPath()] = true
+	}
+	patterns := make([]string, 0, len(paths))
+	for p := range paths {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	pkgs, err := load.List("../..", patterns...)
+	if err != nil {
+		t.Fatalf("loading snapshotted packages: %v", err)
+	}
+
+	// "pkgpath.Type" -> field -> static class.
+	static := map[string]map[string]string{}
+	for _, pkg := range pkgs {
+		if !paths[pkg.Path] {
+			continue // a dependency, not a table package
+		}
+		for _, fc := range snapshotcover.Inventory(pkg) {
+			key := pkg.Path + "." + fc.Type
+			m := static[key]
+			if m == nil {
+				m = map[string]string{}
+				static[key] = m
+			}
+			m[fc.Field] = fc.Class
+		}
+	}
+
+	for _, tc := range tables {
+		key := tc.Type.PkgPath() + "." + tc.Type.Name()
+		m := static[key]
+		if m == nil {
+			t.Errorf("%s: runtime coverage table has no static counterpart; the struct is not registered by its snapshot.go pair or a //shrimp:state mark", key)
+			continue
+		}
+		for field, class := range tc.Fields {
+			got, ok := m[field]
+			switch {
+			case !ok:
+				t.Errorf("%s.%s: classified %q at runtime but unknown to the static inventory", key, field, class)
+			case got != string(class):
+				t.Errorf("%s.%s: runtime table says %q, static inventory says %q", key, field, class, got)
+			}
+		}
+		for field, got := range m {
+			if _, ok := tc.Fields[field]; !ok {
+				t.Errorf("%s.%s: static inventory classifies it %q but the runtime table omits it", key, field, got)
+			}
+		}
+	}
+}

@@ -66,16 +66,18 @@ func MyrinetLikeConfig(n int) Config {
 }
 
 // Node is one compute node: CPU accounting, memory, memory bus, NIC.
+//
+//shrimp:state
 type Node struct {
-	ID   mesh.NodeID
-	M    *Machine
-	Mem  *memory.AddressSpace
-	Bus  *sim.Resource
+	ID   mesh.NodeID          //shrimp:nostate wiring: fixed node identity
+	M    *Machine             //shrimp:nostate wiring: back-pointer to the owning machine
+	Mem  *memory.AddressSpace //shrimp:nostate captured: captured by BeginSnapshot; restored through the memory.Snapshot handle
+	Bus  *sim.Resource        //shrimp:nostate asserted: Quiescent requires every memory bus idle
 	NIC  *nic.NIC
 	CPU  *CPU
 	Acct *stats.Node
 
-	notify func(p *sim.Proc, pkt *nic.Packet)
+	notify func(p *sim.Proc, pkt *nic.Packet) //shrimp:nostate wiring: dispatch hook attached by the vmmc layer at construction
 }
 
 // Machine is the whole system.
@@ -84,7 +86,7 @@ type Machine struct {
 	Net   *mesh.Network
 	Nodes []*Node
 	Cfg   Config
-	Acct  *stats.Machine
+	Acct  *stats.Machine //shrimp:nostate captured: aliases the per-node accounts, captured individually via Node.Acct
 }
 
 // New builds and starts a machine: all nodes, NICs and the backplane.

@@ -60,6 +60,7 @@ func (p Prot) String() string {
 	}
 }
 
+//shrimp:state
 type page struct {
 	data   []byte
 	mapped bool
@@ -122,15 +123,16 @@ type AddressSpace struct {
 
 	// Snoop, if set, is invoked after every CPU store (not DMA stores;
 	// see DMAWrite). This is the hook the NIC's AU logic attaches to.
-	Snoop SnoopFunc
+	//shrimp:continuation
+	Snoop SnoopFunc //shrimp:nostate wiring: observer hook attached at construction
 	// Fault, if set, is invoked on protection violations.
-	Fault FaultFunc
+	Fault FaultFunc //shrimp:nostate wiring: fault handler attached at construction
 
 	// ck, when non-nil, is the active checkpoint: every write path
 	// captures a page's pristine contents before its first post-snapshot
 	// modification (see snapshot.go). Off the checkpointed path this is
 	// one nil check per write.
-	ck *Snapshot
+	ck *Snapshot //shrimp:nostate wiring: the active-snapshot handle itself; its contents rewind the space, its identity is wiring
 }
 
 // NewAddressSpace returns an empty address space. Page zero is left

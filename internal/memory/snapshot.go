@@ -17,6 +17,8 @@ package memory
 // Restore still rewinds it to the snapshot contents.
 
 // pageMeta is the snapshot copy of one page's bookkeeping.
+//
+//shrimp:state
 type pageMeta struct {
 	mapped bool
 	dirty  bool
@@ -36,7 +38,7 @@ type Snapshot struct {
 	// them in first-touch order so Restore is O(touched). saved holds a
 	// pristine copy for pages that were dirty at snapshot time; touched
 	// pages with a nil saved entry were all-zero and are re-zeroed.
-	touched     []bool
+	touched     []bool //shrimp:nostate captured: first-touch dedup index over touchedList, which Restore walks instead
 	touchedList []int
 	saved       [][]byte
 }

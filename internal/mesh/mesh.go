@@ -34,6 +34,7 @@ type Packet struct {
 	// once per pooled packet (capturing only the packet and its network)
 	// and reused across recycles, replacing the per-send closure that
 	// used to dominate Send's allocation profile.
+	//shrimp:continuation
 	deliver func()
 }
 
@@ -91,13 +92,15 @@ func (d direction) String() string { return directionNames[d] }
 
 // link is a directed channel between adjacent routers with its own
 // occupancy horizon, used to model wormhole contention.
+//
+//shrimp:state
 type link struct {
 	freeAt sim.Time
 	// busy accumulates total occupied time for utilization statistics.
 	busy sim.Time
 	// id is the link's index within Network.links, so trace events can
 	// name the link without pointer arithmetic.
-	id int32
+	id int32 //shrimp:nostate wiring: fixed topology index, identical across branches
 }
 
 // Stats aggregates network-level counters.
@@ -109,25 +112,25 @@ type Stats struct {
 
 // Network is the mesh fabric connecting all nodes.
 type Network struct {
-	e     *sim.Engine
-	cfg   Config
-	links []link // [router*ndirections + dir]
-	sinks []Sink
+	e     *sim.Engine //shrimp:nostate wiring: engine identity, same across branches
+	cfg   Config      //shrimp:nostate wiring: immutable topology configuration
+	links []link      // [router*ndirections + dir]
+	sinks []Sink      //shrimp:nostate wiring: delivery closures registered at construction
 	stats Stats
 
 	// routes caches the X-Y path for every (src,dst) pair, filled
 	// lazily on first use. A 4x4 mesh has only 256 pairs, so Send never
 	// recomputes or allocates a path in steady state; path() remains the
 	// oracle the cache is validated against in tests.
-	routes [][]*link
+	routes [][]*link //shrimp:nostate wiring: deterministic pure-function cache; identical however far a branch ran
 
 	// pool is the Packet freelist.
-	pool []*Packet
+	pool []*Packet //shrimp:nostate wiring: freelist identity serves every branch; contents are dead packets
 
 	// tr is the attached trace recorder (nil when tracing is off);
 	// cached from the engine at construction so Send pays one nil
 	// check when disabled.
-	tr *trace.Recorder
+	tr *trace.Recorder //shrimp:nostate wiring: tracer identity is per-run configuration
 }
 
 // New constructs a mesh network on engine e.
@@ -194,6 +197,8 @@ func (n *Network) Nodes() int { return n.cfg.Width * n.cfg.Height }
 func (n *Network) Stats() Stats { return n.stats }
 
 // Attach registers the delivery sink for a node.
+//
+//shrimp:continuation
 func (n *Network) Attach(id NodeID, s Sink) {
 	if int(id) < 0 || int(id) >= len(n.sinks) {
 		panic(fmt.Sprintf("mesh: attach to invalid node %d", id))

@@ -13,6 +13,8 @@ import "fmt"
 // same position a cold run's Seqs occupy between phases.
 
 // NICSnapshot captures one NIC's dynamic state.
+//
+//shrimp:state
 type NICSnapshot struct {
 	cfg      Config
 	opt      []OPTEntry

@@ -72,35 +72,35 @@ func less(a, b *event) bool {
 type Engine struct {
 	now    Time
 	seq    uint64
-	events []*event // binary heap ordered by less
-	nowq   []*event // FIFO of events with t == now, in seq order
-	nowqAt int      // index of the FIFO head within nowq
+	events []*event //shrimp:nostate asserted: Quiescent requires an empty heap; there is nothing to copy
+	nowq   []*event //shrimp:nostate asserted: Quiescent requires an empty same-instant FIFO; Restore re-empties it
+	nowqAt int      //shrimp:nostate asserted: head index of the asserted-empty FIFO; Restore zeroes it
 
 	// free is the event freelist.
-	free []*event
+	free []*event //shrimp:nostate wiring: freelist identity serves every branch; contents are dead events
 
 	// limit bounds event timestamps during RunUntil.
-	limit   Time
-	limited bool
+	limit   Time //shrimp:nostate wiring: set afresh by every RunUntil call
+	limited bool //shrimp:nostate wiring: set afresh by every RunUntil call
 
 	// mainResume wakes the Run/RunUntil caller when the calendar drains
 	// or Stop takes effect while a process owns the engine.
-	mainResume chan struct{}
+	mainResume chan struct{} //shrimp:nostate wiring: host-side handshake channel, identical across branches
 	// killAck is the Shutdown handshake: each killed process signals it
 	// as its goroutine unwinds.
-	killAck chan struct{}
+	killAck chan struct{} //shrimp:nostate wiring: host-side handshake channel, identical across branches
 
-	live    int // procs spawned and not yet finished
-	blocked int // procs parked with no scheduled wake (waiting on a Cond)
-	all     []*Proc
+	live    int     //shrimp:nostate asserted: Quiescent requires zero live processes
+	blocked int     //shrimp:nostate asserted: Quiescent requires zero blocked processes
+	all     []*Proc // procs spawned and not yet finished are forbidden at quiescence; Restore truncates
 
-	running bool
-	stopped bool
+	running bool //shrimp:nostate asserted: Quiescent requires no Run in progress
+	stopped bool //shrimp:nostate captured: quiescence implies false; Restore resets it explicitly
 
 	// tr is the attached trace recorder, or nil when tracing is off.
 	// Hardware and protocol layers cache it at construction; the engine
 	// itself only records process lifecycle events.
-	tr *trace.Recorder
+	tr *trace.Recorder //shrimp:nostate wiring: tracer identity is per-run configuration, not rewindable state
 }
 
 // killSignal unwinds a process goroutine during Shutdown.
@@ -330,6 +330,7 @@ func (e *Engine) scheduleExit() {
 // past panics: it would break causality.
 //
 //shrimp:hotpath
+//shrimp:continuation
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
@@ -343,6 +344,7 @@ func (e *Engine) At(t Time, fn func()) {
 // After schedules fn to run in engine context d nanoseconds from now.
 //
 //shrimp:hotpath
+//shrimp:continuation
 func (e *Engine) After(d Time, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -509,6 +511,7 @@ type Timer struct {
 // NewTimer schedules fn to run after d; the returned Timer can cancel it.
 //
 //shrimp:hotpath
+//shrimp:continuation
 func (e *Engine) NewTimer(d Time, fn func()) Timer {
 	ev := e.alloc()
 	ev.t = e.now + d

@@ -82,7 +82,8 @@ func (p *Proc) block() {
 // condWaiter is one entry in a Cond's FIFO: either a parked process or a
 // registered continuation callback. Exactly one of p and fn is set.
 type condWaiter struct {
-	p  *Proc
+	p *Proc
+	//shrimp:continuation
 	fn func()
 }
 
@@ -117,6 +118,7 @@ func (c *Cond) Wait(p *Proc) {
 // Blocked: an idle device engine waiting for work is not a deadlock.
 //
 //shrimp:hotpath
+//shrimp:continuation
 func (c *Cond) WaitFn(fn func()) {
 	c.waiters = append(c.waiters, condWaiter{fn: fn})
 }
@@ -160,7 +162,8 @@ func (c *Cond) Broadcast() {
 // resWaiter is one entry in a Resource's FIFO queue: a parked process or
 // an acquisition callback. Exactly one of p and fn is set.
 type resWaiter struct {
-	p  *Proc
+	p *Proc
+	//shrimp:continuation
 	fn func()
 }
 
@@ -197,6 +200,7 @@ func (r *Resource) Acquire(p *Proc) {
 // resource when its continuation executes and must eventually Release.
 //
 //shrimp:hotpath
+//shrimp:continuation
 func (r *Resource) AcquireFn(fn func()) bool {
 	if !r.held && len(r.queue) == 0 {
 		r.held = true

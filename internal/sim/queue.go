@@ -58,6 +58,7 @@ func (q *Queue[T]) Pop(p *Proc) T {
 // callback consumer at a time.
 //
 //shrimp:hotpath
+//shrimp:continuation
 func (q *Queue[T]) PopFn(fn func(T)) {
 	if q.waitFn != nil {
 		panic("sim: Queue.PopFn with a callback already registered")

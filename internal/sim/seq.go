@@ -49,6 +49,8 @@ type Seq struct {
 
 // NewSeq builds a sequencer over steps, which run on engine e. The
 // steps slice is captured, not copied.
+//
+//shrimp:continuation
 func NewSeq(e *Engine, steps ...func() Ctl) *Seq {
 	s := &Seq{e: e}
 	s.Init(e, len(steps), func(pc int) Ctl { return steps[pc]() })
@@ -59,6 +61,8 @@ func NewSeq(e *Engine, steps ...func() Ctl) *Seq {
 // dispatched through step — usually one bound method switching on the
 // index. Initializing by dispatch function costs two allocations total
 // (step and the resume continuation) regardless of step count.
+//
+//shrimp:continuation
 func (s *Seq) Init(e *Engine, n int, step func(pc int) Ctl) {
 	s.e = e
 	s.n = n

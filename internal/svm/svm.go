@@ -97,16 +97,17 @@ const (
 	pgDirty              // write-mapped since the last release
 )
 
+//shrimp:state
 type pageState struct {
 	status pageStatus
-	twin   []byte // HLRC/HLRC-AU only, while dirty
+	twin   []byte //shrimp:nostate asserted: Quiescent requires every twin flushed; Restore nils it
 }
 
 // System is the shared-memory system spanning all nodes.
 type System struct {
-	sys   *vmmc.System
+	sys   *vmmc.System //shrimp:nostate wiring: vmmc identity; its state rewinds via the vmmc layer
 	cfg   Config
-	Pages int
+	Pages int //shrimp:nostate wiring: fixed region extent
 	nodes []*Runtime
 	locks []*lockState // manager-side state, indexed by lock id (lives on lock home)
 	// brk is the shared-region bump allocator (byte offset).
@@ -114,6 +115,8 @@ type System struct {
 }
 
 // lockState lives on the lock's manager node.
+//
+//shrimp:state
 type lockState struct {
 	held    bool
 	holder  int
@@ -129,47 +132,49 @@ type lockState struct {
 }
 
 // Runtime is the per-node SVM library instance.
+//
+//shrimp:state
 type Runtime struct {
-	s    *System
-	rank int
-	node *machine.Node
-	ep   *vmmc.Endpoint
+	s    *System        //shrimp:nostate wiring: back-pointer to the owning system
+	rank int            //shrimp:nostate wiring: fixed rank identity
+	node *machine.Node  //shrimp:nostate wiring: node identity, fixed at construction
+	ep   *vmmc.Endpoint //shrimp:nostate wiring: endpoint identity, fixed at construction
 
-	base  memory.Addr // local copy of the region
+	base  memory.Addr //shrimp:nostate wiring: region placement, fixed at construction
 	state []pageState
-	dirty []int // pages dirtied since last release (in fault order)
+	dirty []int //shrimp:nostate asserted: Quiescent requires no unreleased dirty pages; Restore truncates
 	// sinceBarrier accumulates every page dirtied since the last
 	// barrier (across lock releases): a barrier is a global acquire, so
 	// its invalidations must subsume lock-interval write notices.
-	sinceBarrier map[int]bool
+	sinceBarrier map[int]bool //shrimp:nostate asserted: Quiescent requires write notices carried to a barrier; Restore re-empties it
 
-	regionExp *vmmc.Export   // the whole local region, importable by peers
-	regionImp []*vmmc.Import // region imports, by peer rank (nil for self)
+	regionExp *vmmc.Export   //shrimp:nostate wiring: mapping identity; delivery state rewinds via the vmmc layer
+	regionImp []*vmmc.Import //shrimp:nostate wiring: mapping identities, fixed at construction
 
-	reqIn  []*ring.Ring // request channels from each peer (handler-serviced)
+	reqIn  []*ring.Ring //shrimp:nostate captured: aliases — reqIn[dst][src] is the same Ring as reqOut[src][dst], which eachRing snapshots
 	reqOut []*ring.Ring // request channels to each peer
-	repIn  []*ring.Ring // reply channels from each peer (polled)
+	repIn  []*ring.Ring //shrimp:nostate captured: aliases — repIn[dst][src] is the same Ring as repOut[src][dst], which eachRing snapshots
 	repOut []*ring.Ring // reply channels to each peer
 
-	reqParse []msgParser // handler-side parse state per peer
-	repParse []msgParser // app-side parse state per peer
-	svc      *sim.Resource
+	reqParse []msgParser   //shrimp:nostate asserted: Quiescent requires every parser between messages; Restore zeroes them wholesale
+	repParse []msgParser   //shrimp:nostate asserted: Quiescent requires every parser between messages; Restore zeroes them wholesale
+	svc      *sim.Resource //shrimp:nostate asserted: Quiescent requires the request service idle
 
 	// Barrier manager state (rank 0 only).
 	bar *barrierState
 
 	// barWait lets the local application block for barrier release.
-	barWait   *sim.Cond
+	barWait   *sim.Cond //shrimp:nostate asserted: Quiescent requires no procs parked at a barrier
 	barEpoch  int
-	pendInval []invalidation // invalidations to apply when the app resumes
+	pendInval []invalidation //shrimp:nostate asserted: Quiescent requires no pending invalidations; Restore nils it
 
 	// Lock grants destined for this node's own application (when it is
 	// the lock manager).
-	localGrants []localGrant
-	lockCond    *sim.Cond
+	localGrants []localGrant //shrimp:nostate asserted: Quiescent requires no pending local grants; Restore nils it
+	lockCond    *sim.Cond    //shrimp:nostate asserted: Quiescent requires no procs parked on a lock grant
 
 	// tr is the attached trace recorder (nil when tracing is off).
-	tr *trace.Recorder
+	tr *trace.Recorder //shrimp:nostate wiring: tracer identity is per-run configuration
 }
 
 // trace records one protocol event for this rank when a recorder is

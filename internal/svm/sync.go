@@ -151,11 +151,12 @@ func (rt *Runtime) grantLock(p *sim.Proc, lock, to int) {
 // notices, merges them into a global invalidation list annotated with
 // sole-writer information, and releases everyone.
 
+//shrimp:state
 type barrierState struct {
-	n       int
+	n       int //shrimp:nostate wiring: fixed participant count
 	epoch   int
-	arrived int
-	writers map[int]map[int]bool // page -> ranks that wrote it
+	arrived int                  //shrimp:nostate asserted: Quiescent requires zero arrivals held; Restore zeroes it
+	writers map[int]map[int]bool //shrimp:nostate asserted: Quiescent requires no held write notices; Restore re-empties it
 }
 
 func newBarrierState(n int) *barrierState {
