@@ -3,7 +3,7 @@
 
 GOBIN := $(CURDIR)/bin
 
-.PHONY: all lint test bench-smoke determinism golden serve-smoke clean
+.PHONY: all lint test bench-smoke determinism golden calibrate serve-smoke clean
 
 all: lint test
 
@@ -40,6 +40,14 @@ determinism:
 # `scripts/golden_check.sh -update`.
 golden:
 	BIN=$(GOBIN) bash scripts/golden_check.sh
+
+# calibrate runs every registry experiment through both the analytical
+# twin and the simulator, writes the calibration report (text + JSON)
+# under bin/ — CI uploads it as a workflow artifact — and fails if any
+# experiment's MAPE or rank correlation regresses past the thresholds
+# pinned in scripts/calibrate_check.sh.
+calibrate:
+	BIN=$(GOBIN) bash scripts/calibrate_check.sh
 
 # serve-smoke boots shrimpd and checks the HTTP API end to end: health,
 # NDJSON results byte-identical to shrimpbench -json, cache hits on a

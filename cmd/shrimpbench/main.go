@@ -45,13 +45,18 @@ func main() {
 	traceFilter := flag.String("trace-filter", "", "comma-separated event kinds to trace (default: all)")
 	traceMax := flag.Int("trace-max", 1<<20, "max trace events kept per cell (0 = unlimited)")
 	metrics := flag.Bool("metrics", false, "print per-cell latency histograms and link utilization")
+	twin := flag.Bool("twin", false,
+		"evaluate the selected experiments with the analytical twin only (no simulation)")
+	calibrate := flag.Bool("calibrate", false,
+		"run every registry experiment through twin and simulator and report MAPE + rank correlation")
+	twinSearch := flag.String("twin-search", "",
+		"twin-guided knob search for this app (e.g. \"radix-vmmc\" or \"ocean-nx/du\"): "+
+			"the twin scans the knob grid, the simulator confirms the top quarter")
 	profFlags := prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *exp == "list" {
-		for _, e := range harness.Experiments() {
-			fmt.Printf("%-12s %s\n", e.Name, e.Desc)
-		}
+		harness.PrintCatalog(os.Stdout)
 		return
 	}
 
@@ -88,6 +93,23 @@ func main() {
 		}
 	}
 
+	if *calibrate {
+		rep := harness.Calibrate(cfg)
+		if *jsonOut {
+			if err := harness.EmitJSON(os.Stdout, "calibration", rep.Rows); err != nil {
+				fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+		harness.PrintCalibration(os.Stdout, rep)
+		return
+	}
+	if *twinSearch != "" {
+		runTwinSearch(cfg, *twinSearch, *jsonOut)
+		return
+	}
+
 	selected := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		selected[strings.TrimSpace(e)] = true
@@ -114,6 +136,22 @@ func main() {
 		}
 		ran = true
 		curExp = e.Name
+		if *twin {
+			rows, err := harness.TwinRows(cfg, e)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+				os.Exit(1)
+			}
+			if *jsonOut {
+				if err := harness.EmitJSON(w, "twin-"+e.Name, rows); err != nil {
+					fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+					os.Exit(1)
+				}
+				continue
+			}
+			harness.PrintTwinRows(w, e, rows)
+			continue
+		}
 		rows := e.Run(cfg)
 		if *jsonOut {
 			if err := harness.EmitJSON(w, e.Name, rows); err != nil {
@@ -137,6 +175,39 @@ func main() {
 		}
 	}
 	writeTraces(*traceFile, *traceNDJSON, recs, labels)
+}
+
+// runTwinSearch performs a twin-guided knob search for one app: the
+// analytical twin scans the full what-if knob grid, the simulator
+// confirms only the top quarter.
+func runTwinSearch(cfg harness.Config, target string, jsonOut bool) {
+	name, variant, _ := strings.Cut(target, "/")
+	app, err := harness.ParseApp(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+		os.Exit(2)
+	}
+	v := harness.DefaultVariant(app)
+	if pv, ok, err := harness.ParseVariant(variant); err != nil {
+		fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+		os.Exit(2)
+	} else if ok {
+		v = pv
+	}
+	cells := harness.SearchGrid(app, v, cfg.Nodes)
+	res, err := harness.TwinGuidedSearch(cfg, cells, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		if err := harness.EmitJSON(os.Stdout, "twin-search", res.Ranked); err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	harness.PrintSearch(os.Stdout, fmt.Sprintf("%s/%s/n%d", app, v, cfg.Nodes), res)
 }
 
 // writeTraces renders the collected recorders to the requested files.

@@ -13,9 +13,14 @@
 //	               barnes-nx|ocean-nx|dfs|render[,app...]
 //	          [-nodes N] [-variant au|du] [-protocol hlrc|hlrc-au|aurc]
 //	          [-syscall] [-intmsg] [-nocombine] [-fifo bytes] [-duqueue N]
-//	          [-parallel N] [-share-prefix] [-quick]
+//	          [-parallel N] [-share-prefix] [-quick] [-twin]
 //	          [-trace FILE] [-trace-ndjson FILE] [-trace-filter KINDS]
 //	          [-trace-max N] [-metrics]
+//
+// -twin answers from the analytical twin (internal/twin composed by
+// the harness predictor) instead of running the DES — microseconds of
+// arithmetic instead of seconds of simulation, calibrated cell by cell
+// against the simulator (see shrimpbench -calibrate).
 //
 // Alternatively, -load drives a service with open-loop traffic
 // (internal/workload) instead of running a batch application:
@@ -66,6 +71,8 @@ func main() {
 	traceFilter := flag.String("trace-filter", "", "comma-separated event kinds to trace (default: all)")
 	traceMax := flag.Int("trace-max", 1<<20, "max trace events kept per app (0 = unlimited)")
 	metrics := flag.Bool("metrics", false, "print per-app latency histograms and link utilization")
+	twinMode := flag.Bool("twin", false,
+		"predict with the analytical twin instead of simulating (closed form, no DES)")
 	loadConfig := flag.String("load", "", "drive a service with open-loop traffic instead of -app "+
 		"(rpc/polling, rpc/notified, socket/du, socket/au, dfs/du)")
 	offered := flag.Float64("offered", 1, "offered-load multiplier for -load")
@@ -75,7 +82,7 @@ func main() {
 	flag.Parse()
 
 	if *loadConfig != "" {
-		runLoad(*loadConfig, *nodes, *offered, *quick, *loadRecord, *loadReplay)
+		runLoad(*loadConfig, *nodes, *offered, *quick, *twinMode, *loadRecord, *loadReplay)
 		return
 	}
 
@@ -153,6 +160,17 @@ func main() {
 	if *quick {
 		wl = harness.QuickWorkloads()
 	}
+	if *twinMode {
+		tp := harness.NewPredictor(&wl)
+		for i, spec := range cells {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("%s on %d nodes (%s)\n", spec.App, *nodes, wl.SizeString(spec.App))
+			fmt.Printf("twin predicted time: %v (analytical, no simulation)\n", tp.PredictSpec(spec))
+		}
+		return
+	}
 	run := harness.RunCells
 	if *sharePrefix {
 		run = harness.RunCellsShared
@@ -217,7 +235,7 @@ func ptr[T any](v T) *T { return &v }
 
 // runLoad executes one open-loop load cell: generate (or replay) the
 // request trace, drive the service, print the report.
-func runLoad(config string, nodes int, offered float64, quick bool, record, replay string) {
+func runLoad(config string, nodes int, offered float64, quick, twinMode bool, record, replay string) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "shrimpsim: %v\n", err)
 		os.Exit(1)
@@ -230,6 +248,21 @@ func runLoad(config string, nodes int, offered float64, quick bool, record, repl
 		params = harness.QuickLoadParams()
 	}
 	cell := harness.LoadCell{Config: config, Nodes: nodes, Offered: offered, Params: params}
+
+	if twinMode {
+		wl := harness.DefaultWorkloads()
+		if quick {
+			wl = harness.QuickWorkloads()
+		}
+		tp := harness.NewPredictor(&wl)
+		rows, err := tp.PredictLoad(cell)
+		if err != nil {
+			fail(err)
+		}
+		e, _ := harness.FindExperiment("load")
+		harness.PrintTwinRows(os.Stdout, e, rows)
+		return
+	}
 
 	var tr *workload.Trace
 	if replay != "" {

@@ -75,6 +75,27 @@ func okNoCapture(m map[int]int, tr tracer) int {
 	return n
 }
 
+// badCalibrationRows mirrors the twin-calibration trap: a report built
+// by ranging over a cell cache would order its rows by map iteration,
+// breaking the byte-identical calibration artifact.
+func badCalibrationRows(cache map[string]float64) []float64 {
+	var rows []float64
+	for _, v := range cache { // want `appends map-dependent values`
+		rows = append(rows, v)
+	}
+	return rows
+}
+
+// okCalibrationRows is the calibration idiom: iterate the catalog
+// order (a slice), consulting the cache per key.
+func okCalibrationRows(catalog []string, cache map[string]float64) []float64 {
+	rows := make([]float64, 0, len(catalog))
+	for _, label := range catalog {
+		rows = append(rows, cache[label])
+	}
+	return rows
+}
+
 func justified(m map[int]int, tr tracer) {
 	//lint:ignore maporder fixture: demonstrates a justified suppression
 	for k := range m {

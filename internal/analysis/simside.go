@@ -26,6 +26,7 @@ var simSidePkgs = map[string]bool{
 	"stats":      true,
 	"apps":       true, // and all subpackages
 	"workload":   true, // open-loop traffic generator: drivers run inside the simulated machine
+	"twin":       true, // closed-form analytical model: pure functions of simulated time, same invariants
 }
 
 // hostSidePkgs names the packages that are explicitly host-side: they

@@ -19,6 +19,7 @@ func TestBoundaryClassification(t *testing.T) {
 		{"shrimp/internal/trace", true, false},
 		{"shrimp/internal/checkpoint", true, false},
 		{"shrimp/internal/workload", true, false},
+		{"shrimp/internal/twin", true, false},
 
 		{"shrimp/internal/server", false, true},
 		{"shrimp/internal/server/sub", false, true},

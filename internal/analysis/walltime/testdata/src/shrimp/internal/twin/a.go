@@ -1,0 +1,23 @@
+// Package twin is a walltime fixture standing in for the analytical
+// model: predictions are pure functions of simulated time, so a twin
+// term must never consult the host clock — a wall-clock read would
+// make the same cell predict differently run to run.
+package twin
+
+import "time"
+
+// Time mirrors the simulator's virtual clock type.
+type Time int64
+
+func badCalibrationStamp() Time {
+	return Time(time.Now().UnixNano()) // want `time\.Now reads the wall clock`
+}
+
+func badModelTimeout() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+func okPrediction(hops int, perHop, fixed Time) Time {
+	// A latency term composes virtual-time costs arithmetically.
+	return fixed + Time(hops)*perHop
+}

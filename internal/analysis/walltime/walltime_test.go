@@ -12,6 +12,7 @@ func TestWalltime(t *testing.T) {
 		"shrimp/internal/sim",
 		"shrimp/internal/checkpoint",
 		"shrimp/internal/workload",
+		"shrimp/internal/twin",
 		"shrimp/internal/harness",
 	)
 }

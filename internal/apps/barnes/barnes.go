@@ -313,6 +313,28 @@ func Sequential(pr Params) []Body {
 	return bodies
 }
 
+// Interactions counts the tree-walk interactions the reference
+// simulation performs across all steps and bodies — the exact total the
+// parallel runs charge InteractionCost for, since every formulation
+// computes the same forces from the same replicated tree. Exported as
+// the work oracle the analytical twin composes its compute term from;
+// it is a pure function of Params and runs natively in microseconds.
+func Interactions(pr Params) int64 {
+	var count int64
+	bodies := generate(pr)
+	for s := 0; s < pr.Steps; s++ {
+		t := build(bodies)
+		accs := make([][3]float64, len(bodies))
+		for i := range bodies {
+			accs[i] = t.force(int32(i), pr.Theta, pr.Eps, func() { count++ })
+		}
+		for i := range bodies {
+			advance(&bodies[i], accs[i], pr.Dt)
+		}
+	}
+	return count
+}
+
 // checksum folds body state into a comparable value.
 func checksum(bodies []Body) uint64 {
 	var h uint64 = 14695981039346656037

@@ -117,6 +117,20 @@ func Sequential(pr Params) []byte {
 	return img
 }
 
+// Samples counts the ray samples a full frame casts (early termination
+// included) — the exact total the parallel render charges SampleCost
+// for. Exported as the work oracle the analytical twin composes its
+// compute term from; it is a pure function of Params and runs natively
+// in microseconds.
+func Samples(pr Params) int64 {
+	var count int64
+	vol := volume(pr.VolumeDim)
+	for t := 0; t < pr.tiles(); t++ {
+		renderTile(vol, pr, t, func() { count++ })
+	}
+	return count
+}
+
 // placeTile copies a rendered tile into the frame.
 func placeTile(img []byte, pr Params, tile int, data []byte) {
 	tilesPerRow := pr.ImageSize / pr.TileSize

@@ -1,6 +1,9 @@
 package harness
 
-import "io"
+import (
+	"fmt"
+	"io"
+)
 
 // Experiment is one entry of the evaluation catalog: a named driver
 // that reproduces a table or figure of the paper. The registry is the
@@ -154,6 +157,23 @@ var experimentList = []Experiment{
 // Experiments returns the catalog in report order. The slice is shared;
 // callers must not mutate it.
 func Experiments() []Experiment { return experimentList }
+
+// PrintCatalog lists the registry in report order, marking hidden
+// experiments (excluded from "-exp all"; run only when named).
+func PrintCatalog(w io.Writer) {
+	hidden := false
+	for _, e := range experimentList {
+		name := e.Name
+		if e.Hidden {
+			name += "*"
+			hidden = true
+		}
+		fmt.Fprintf(w, "%-12s %s\n", name, e.Desc)
+	}
+	if hidden {
+		fmt.Fprintf(w, "%-12s %s\n", "*", "hidden: excluded from -exp all, run by name")
+	}
+}
 
 // FindExperiment looks an experiment up by name.
 func FindExperiment(name string) (Experiment, bool) {

@@ -237,6 +237,7 @@ func (s *Server) runCellJob(ctx context.Context, j *job) error {
 		SharePrefix: j.req.SharePrefix,
 		OnDone: func(i int, r harness.Result) {
 			s.met.cellsFinished.Add(1)
+			s.recordTwinDrift(&wl, j.req.Cells[i], r)
 			line, err := json.Marshal(cellRow{Index: i, Cell: j.req.Cells[i], Result: r})
 			if err != nil {
 				return // unreachable: Result is plain integers

@@ -25,6 +25,14 @@ type metrics struct {
 	jobsFailed    atomic.Int64
 	jobsCanceled  atomic.Int64
 	cellsFinished atomic.Int64
+	twinAnswered  atomic.Int64
+
+	// Twin drift: every simulated cell is re-predicted by the twin and
+	// the absolute relative error recorded, so the scrape carries a
+	// live twin-vs-DES calibration signal without extra simulation.
+	driftMu       sync.Mutex
+	twinDrift     trace.Hist // absolute twin-vs-sim error, basis points
+	twinDriftLast float64    // most recent cell's relative error
 
 	histMu    sync.Mutex
 	queueWait trace.Hist // ns from submit to start
@@ -115,6 +123,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("shrimpd_cache_spills_total", "results evicted to disk", st.Spills)
 		gauge("shrimpd_cache_entries", "results held in memory", st.Entries)
 	}
+
+	counter("shrimpd_twin_answers_total", "instant analytical-twin answers served", m.twinAnswered.Load())
+	m.driftMu.Lock()
+	drift, last := m.twinDrift, m.twinDriftLast
+	m.driftMu.Unlock()
+	fmt.Fprintf(w, "# HELP shrimpd_twin_drift_last_pct twin-vs-DES relative error of the most recent simulated cell\n# TYPE shrimpd_twin_drift_last_pct gauge\n")
+	fmt.Fprintf(w, "shrimpd_twin_drift_last_pct %g\n", last*100)
+	fmt.Fprintf(w, "# HELP shrimpd_twin_drift_bp absolute twin-vs-DES error of simulated cells, basis points\n# TYPE shrimpd_twin_drift_bp summary\n")
+	trace.WritePromSummary(w, "shrimpd_twin_drift_bp", "", &drift)
 
 	m.histMu.Lock()
 	qw, jd := m.queueWait, m.jobDur

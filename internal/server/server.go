@@ -10,6 +10,7 @@
 //
 // Endpoints:
 //
+//	POST   /v1/twin              instant analytical-twin answer (no queue)
 //	POST   /v1/jobs              submit a job (cell grid or named experiment)
 //	GET    /v1/jobs              list jobs
 //	GET    /v1/jobs/{id}         job status
@@ -123,6 +124,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /v1/twin", s.handleTwin)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)

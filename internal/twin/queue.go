@@ -1,0 +1,41 @@
+// M/G/1 queueing terms for the open-loop load predictions. The load
+// harness drives each service with renewal arrival streams and
+// general service-size distributions, so the Pollaczek–Khinchine mean
+// sojourn is the natural closed form: exact for Poisson arrivals, a
+// serviceable estimate for the gamma/weibull classes at the low
+// utilizations where the twin is trusted.
+package twin
+
+// Utilization is the offered load on a single server: arrival rate
+// (requests per second) times mean service time (seconds). Values at
+// or above 1 mean the closed forms do not converge.
+func Utilization(arrivalRate, meanService float64) float64 {
+	return arrivalRate * meanService
+}
+
+// MG1Sojourn is the Pollaczek–Khinchine mean time in system of an
+// M/G/1 queue: E[S] + λ·E[S²] / (2·(1−ρ)). arrivalRate is λ in
+// requests/second, meanService E[S] and service2 E[S²] in seconds and
+// seconds². Returns +Inf (as a very large sentinel is avoided — the
+// caller caps it) by saturating at ρ ≥ 1.
+func MG1Sojourn(arrivalRate, meanService, service2 float64) float64 {
+	rho := Utilization(arrivalRate, meanService)
+	if rho >= 1 {
+		// Saturated: the open-loop queue has no steady state. Report
+		// the service time scaled by a large backlog factor so ranking
+		// still orders saturated cells after stable ones.
+		return meanService * 1e6
+	}
+	return meanService + arrivalRate*service2/(2*(1-rho))
+}
+
+// MM1Sojourn is the M/M/1 special case E[S]/(1−ρ), used by the tests
+// as an independent cross-check of MG1Sojourn (for exponential
+// service, E[S²] = 2·E[S]²).
+func MM1Sojourn(arrivalRate, meanService float64) float64 {
+	rho := Utilization(arrivalRate, meanService)
+	if rho >= 1 {
+		return meanService * 1e6
+	}
+	return meanService / (1 - rho)
+}

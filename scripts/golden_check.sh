@@ -35,8 +35,15 @@ for p in 1 4; do
     "$BIN/shrimpbench" -exp load -quick -parallel "$p" -json >"$WORK/loadjson.$p"
     "$BIN/shrimpbench" -exp load -quick -parallel "$p" -share-prefix >"$WORK/loadtext.share.$p"
     "$BIN/shrimpbench" -exp load -quick -parallel "$p" -share-prefix -json >"$WORK/loadjson.share.$p"
+    # The twin calibration report is a CI artifact with the same
+    # contract: byte-identical whatever the worker count or prefix
+    # sharing, pinned under its own digests.
+    "$BIN/shrimpbench" -quick -calibrate -parallel "$p" >"$WORK/calibtext.$p"
+    "$BIN/shrimpbench" -quick -calibrate -parallel "$p" -json >"$WORK/calibjson.$p"
+    "$BIN/shrimpbench" -quick -calibrate -parallel "$p" -share-prefix >"$WORK/calibtext.share.$p"
+    "$BIN/shrimpbench" -quick -calibrate -parallel "$p" -share-prefix -json >"$WORK/calibjson.share.$p"
 done
-for kind in text json loadtext loadjson; do
+for kind in text json loadtext loadjson calibtext calibjson; do
     if ! cmp -s "$WORK/$kind.1" "$WORK/$kind.4"; then
         echo "golden: $kind output differs between -parallel 1 and -parallel 4" >&2
         exit 1
@@ -53,9 +60,10 @@ for kind in text json loadtext loadjson; do
 done
 
 digest() { sha256sum "$1" | cut -d' ' -f1; }
-NEW=$(printf 'text %s\njson %s\nloadtext %s\nloadjson %s\n' \
+NEW=$(printf 'text %s\njson %s\nloadtext %s\nloadjson %s\ncalibtext %s\ncalibjson %s\n' \
     "$(digest "$WORK/text.1")" "$(digest "$WORK/json.1")" \
-    "$(digest "$WORK/loadtext.1")" "$(digest "$WORK/loadjson.1")")
+    "$(digest "$WORK/loadtext.1")" "$(digest "$WORK/loadjson.1")" \
+    "$(digest "$WORK/calibtext.1")" "$(digest "$WORK/calibjson.1")")
 
 if [ "${1:-}" = "-update" ]; then
     printf '%s\n' "$NEW" >"$GOLDEN"
@@ -78,4 +86,4 @@ if [ "$NEW" != "$(cat "$GOLDEN")" ]; then
     echo "together with an explanation of the behavioral change." >&2
     exit 1
 fi
-echo "golden: output matches $GOLDEN (text+json+load, -parallel 1 and 4, -share-prefix on/off)"
+echo "golden: output matches $GOLDEN (text+json+load+calib, -parallel 1 and 4, -share-prefix on/off)"
